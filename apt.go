@@ -1,0 +1,121 @@
+package repro
+
+// Public facade: the user-facing API of APT-Go, re-exported from the
+// internal packages so downstream modules can import module path
+// "repro" directly (Go's internal/ rule restricts import paths, not
+// type identity). The facade mirrors how a user of the paper's system
+// interacts with it: describe a task, let APT plan, train.
+//
+//	task := repro.Task{ Graph: g, NewModel: ..., Platform: repro.SingleMachine8GPU(), ... }
+//	apt, err := repro.NewAPT(task)
+//	result, err := apt.Train(10)
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/fullgraph"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+	"repro/internal/tensor"
+)
+
+// Core system types.
+type (
+	// Task specifies a GNN training job (graph, model, sampling,
+	// platform); see core.Task for field documentation.
+	Task = core.Task
+	// APT is the adaptive parallel training system.
+	APT = core.APT
+	// Result summarizes a Train run.
+	Result = core.Result
+	// Estimate is one strategy's predicted epoch cost.
+	Estimate = core.Estimate
+	// CostModel converts dry-run volumes into time estimates.
+	CostModel = core.CostModel
+)
+
+// Strategy identifiers.
+type Strategy = strategy.Kind
+
+// The parallelization strategies.
+const (
+	GDP    = strategy.GDP
+	NFP    = strategy.NFP
+	SNP    = strategy.SNP
+	DNP    = strategy.DNP
+	Hybrid = strategy.Hybrid
+)
+
+// Full-graph trainer modes.
+const (
+	FullGraphReal       = fullgraph.Real
+	FullGraphAccounting = fullgraph.Accounting
+)
+
+// Data types.
+type (
+	// Graph is a CSR graph; NodeID indexes its nodes.
+	Graph  = graph.Graph
+	NodeID = graph.NodeID
+	// Matrix is a dense float32 matrix (features, embeddings).
+	Matrix = tensor.Matrix
+	// Model is a GNN model; Layer one of its layers.
+	Model = nn.Model
+	// Platform describes a simulated training cluster.
+	Platform = hardware.Platform
+	// Partitioning assigns nodes to devices.
+	Partitioning = partition.Partitioning
+	// SamplingConfig selects the graph-sampling algorithm.
+	SamplingConfig = sample.Config
+	// EpochStats is one epoch's time decomposition and volumes.
+	EpochStats = engine.EpochStats
+	// Dataset is a materialized synthetic dataset preset.
+	Dataset = dataset.Dataset
+	// DatasetSpec describes a synthetic dataset.
+	DatasetSpec = dataset.Spec
+	// FullGraphConfig configures the full-graph training baseline.
+	FullGraphConfig = fullgraph.Config
+	// PartitionConfig tunes the multilevel partitioner.
+	PartitionConfig = partition.MultilevelConfig
+	// CachePolicy selects a feature-cache rule.
+	CachePolicy = cache.Policy
+	// Optimizer updates model parameters.
+	Optimizer = nn.Optimizer
+)
+
+// Constructors and entry points.
+var (
+	// NewAPT validates a task and creates the system.
+	NewAPT = core.New
+	// NewGraphSAGE and NewGAT build the paper's evaluation models.
+	NewGraphSAGE = nn.NewGraphSAGE
+	NewGAT       = nn.NewGAT
+	// NewSGD and NewAdam build optimizers.
+	NewSGD  = nn.NewSGD
+	NewAdam = nn.NewAdam
+	// SingleMachine8GPU and FourMachines4GPU are the paper's platforms.
+	SingleMachine8GPU = hardware.SingleMachine8GPU
+	FourMachines4GPU  = hardware.FourMachines4GPU
+	// WithDevices adjusts a platform's topology.
+	WithDevices = hardware.WithDevices
+	// MultilevelPartition is the METIS-style partitioner.
+	MultilevelPartition = partition.Multilevel
+	// BuildDataset materializes a synthetic dataset preset.
+	BuildDataset = dataset.Build
+	// DatasetPresets lists the paper's three evaluation datasets.
+	DatasetPresets = dataset.Presets
+	// ReadEdgeList parses a SNAP-style text edge list.
+	ReadEdgeList = graph.ReadEdgeList
+	// Evaluate computes test accuracy of a trained model.
+	Evaluate = engine.Evaluate
+	// DescribePlan renders a strategy's adapted execution plan.
+	DescribePlan = engine.DescribePlan
+	// NewFullGraphTrainer builds the full-graph training baseline.
+	NewFullGraphTrainer = fullgraph.New
+)

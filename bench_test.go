@@ -1,0 +1,195 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table and figure (run via
+// internal/experiments at a reduced scale so `go test -bench=.`
+// completes in minutes) plus micro-benchmarks for the substrate
+// kernels. For full-scale reports use `go run ./cmd/aptbench`.
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// benchEnv builds a small-scale experiment environment per benchmark.
+func benchEnv() *experiments.Env {
+	return experiments.NewEnv(experiments.Options{Scale: 0.06, Epochs: 1, Devices: 8})
+}
+
+func runExperiment(b *testing.B, fn func(*experiments.Env) (string, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		report, err := fn(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(report) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFigure1NoConsistentWinner(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure1)
+}
+
+func BenchmarkFigure6AccuracyEquivalence(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure6)
+}
+
+func BenchmarkFigure7BaselineComparison(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure7)
+}
+
+func BenchmarkFigure8Hidden(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure8Hidden)
+}
+
+func BenchmarkFigure8Fanout(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure8Fanout)
+}
+
+func BenchmarkFigure8Cache(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure8Cache)
+}
+
+func BenchmarkFigure9Distributed(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure9)
+}
+
+func BenchmarkFigure10GAT(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure10)
+}
+
+func BenchmarkFigure11RandomPartition(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure11)
+}
+
+func BenchmarkFigure12CostModelAccuracy(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Figure12)
+}
+
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Table2)
+}
+
+func BenchmarkTable3AccessSkew(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Table3)
+}
+
+func BenchmarkTable4MaxSpeedup(b *testing.B) {
+	runExperiment(b, (*experiments.Env).Table4)
+}
+
+func BenchmarkAblationFullCost(b *testing.B) {
+	runExperiment(b, (*experiments.Env).AblationFullCost)
+}
+
+func BenchmarkAblationDryRunEpochs(b *testing.B) {
+	runExperiment(b, (*experiments.Env).AblationDryRunEpochs)
+}
+
+func BenchmarkAblationCachePolicy(b *testing.B) {
+	runExperiment(b, (*experiments.Env).AblationCachePolicy)
+}
+
+func BenchmarkAblationPipelining(b *testing.B) {
+	runExperiment(b, (*experiments.Env).AblationPipelining)
+}
+
+func BenchmarkExtensionHybrid(b *testing.B) {
+	runExperiment(b, (*experiments.Env).ExtensionHybrid)
+}
+
+func BenchmarkExtensionNVLink(b *testing.B) {
+	runExperiment(b, (*experiments.Env).ExtensionNVLink)
+}
+
+func BenchmarkExtensionCPUCache(b *testing.B) {
+	runExperiment(b, (*experiments.Env).ExtensionCPUCache)
+}
+
+func BenchmarkExtensionLayerWise(b *testing.B) {
+	runExperiment(b, (*experiments.Env).ExtensionLayerWise)
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := graph.NewRNG(1)
+	x := tensor.New(1024, 128)
+	w := tensor.New(128, 128)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat32()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat32()
+	}
+	b.SetBytes(int64(1024 * 128 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(x, w)
+	}
+}
+
+func BenchmarkSegmentMean(b *testing.B) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 20000, AvgDegree: 16, Seed: 1})
+	s := sample.NewSampler(g, sample.Config{Fanouts: []int{10, 10}}, graph.NewRNG(2))
+	seeds := make([]graph.NodeID, 256)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i * 7)
+	}
+	mb := s.Sample(seeds)
+	blk := mb.Layer1()
+	x := tensor.New(blk.NumSrc(), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, x)
+	}
+}
+
+func BenchmarkNeighborSampling(b *testing.B) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 50000, AvgDegree: 16, Seed: 1})
+	s := sample.NewSampler(g, sample.Config{Fanouts: []int{10, 10, 10}}, graph.NewRNG(2))
+	seeds := make([]graph.NodeID, 256)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i * 11)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(seeds)
+	}
+}
+
+func BenchmarkMultilevelPartition(b *testing.B) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 30000, AvgDegree: 12, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = partition.Multilevel(g, 8, partition.MultilevelConfig{Seed: uint64(i), EdgeBalanced: true})
+	}
+}
+
+func BenchmarkRMATGeneration(b *testing.B) {
+	spec, err := dataset.ByAbbr("PS", 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dataset.Build(spec, false)
+	}
+}
+
+func BenchmarkExtensionPhaseDiagram(b *testing.B) {
+	runExperiment(b, (*experiments.Env).ExtensionPhaseDiagram)
+}
+
+func BenchmarkExtensionFullGraph(b *testing.B) {
+	runExperiment(b, (*experiments.Env).ExtensionFullGraph)
+}

@@ -1,0 +1,114 @@
+// Command aptbench regenerates the paper's evaluation tables and
+// figures on the simulated platform. Each experiment prints a
+// plain-text report (stacked epoch-time bars with APT's selection
+// starred, or a measured-vs-paper table).
+//
+// Usage:
+//
+//	aptbench -exp fig8a            # one experiment
+//	aptbench -exp all -scale 0.25  # everything, quickly
+//
+// Experiments: fig1 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
+// fig12 tab1 tab3 tab4 ablation-fullcost ablation-dryrun
+// ablation-cache ext-hybrid ext-nvlink all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see doc comment)")
+		scale  = flag.Float64("scale", 0.5, "dataset scale multiplier (1.0 = full laptop scale)")
+		devs   = flag.Int("devices", 8, "GPUs on the single-machine platform")
+		epochs = flag.Int("epochs", 2, "measured epochs per configuration")
+		batch  = flag.Int("batch", 64, "per-GPU mini-batch size")
+		out    = flag.String("o", "", "also append reports to this file")
+	)
+	flag.Parse()
+
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aptbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		outFile = f
+	}
+
+	env := experiments.NewEnv(experiments.Options{
+		Scale:     *scale,
+		Devices:   *devs,
+		Epochs:    *epochs,
+		BatchSize: *batch,
+	})
+
+	type runner struct {
+		id string
+		fn func() (string, error)
+	}
+	all := []runner{
+		{"tab1", env.Table1},
+		{"tab2", env.Table2},
+		{"tab3", env.Table3},
+		{"fig1", env.Figure1},
+		{"fig6", env.Figure6},
+		{"fig7", env.Figure7},
+		{"fig8a", env.Figure8Hidden},
+		{"fig8b", env.Figure8Fanout},
+		{"fig8c", env.Figure8Cache},
+		{"fig9", env.Figure9},
+		{"fig10", env.Figure10},
+		{"fig11", env.Figure11},
+		{"fig12", env.Figure12},
+		{"tab4", env.Table4},
+		{"ablation-fullcost", env.AblationFullCost},
+		{"ablation-dryrun", env.AblationDryRunEpochs},
+		{"ablation-cache", env.AblationCachePolicy},
+		{"ablation-pipeline", env.AblationPipelining},
+		{"ext-hybrid", env.ExtensionHybrid},
+		{"ext-nvlink", env.ExtensionNVLink},
+		{"ext-cpucache", env.ExtensionCPUCache},
+		{"ext-layerwise", env.ExtensionLayerWise},
+		{"ext-fullgraph", env.ExtensionFullGraph},
+		{"ext-phase", env.ExtensionPhaseDiagram},
+	}
+
+	run := func(r runner) {
+		start := time.Now()
+		report, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aptbench %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		fmt.Printf("[%s completed in %.1fs wall]\n\n", r.id, time.Since(start).Seconds())
+		if outFile != nil {
+			fmt.Fprint(outFile, report)
+			fmt.Fprintln(outFile)
+		}
+	}
+
+	if *exp == "all" {
+		for _, r := range all {
+			run(r)
+		}
+		return
+	}
+	for _, r := range all {
+		if r.id == *exp {
+			run(r)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "aptbench: unknown experiment %q\n", *exp)
+	os.Exit(2)
+}

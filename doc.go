@@ -1,0 +1,12 @@
+// Package repro is APT-Go, a from-scratch Go reproduction of
+// "Adaptive Parallel Training for Graph Neural Networks" (PPoPP 2025):
+// a system that automatically selects among four GNN parallelization
+// strategies (GDP, NFP, SNP, DNP) using dry-run-driven cost models and
+// executes the choice on a unified multi-device engine.
+//
+// The library lives under internal/: see internal/core for the APT
+// system, internal/engine for the unified execution engine,
+// internal/strategy for the strategies, and internal/experiments for
+// the paper's evaluation harness. Entry points are the commands under
+// cmd/ and the runnable examples under examples/.
+package repro

@@ -1,0 +1,156 @@
+// Package cache implements APT's unified feature store: hotness-based
+// per-GPU feature caches configured per parallelization strategy
+// (paper §3.2 "Cache configuration"), the machine-level placement of
+// node features, and the global feature map that routes every read to
+// GPU cache, peer GPU, local CPU, or remote CPU (paper §4.2).
+package cache
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Policy selects which nodes a device caches, given dry-run access
+// frequencies.
+type Policy int
+
+// Cache policies. The first three are the paper's per-strategy rules;
+// PolicyDegree is the PaGraph-style baseline used by the cache-policy
+// ablation.
+const (
+	// PolicyHotGlobal caches the globally most-accessed nodes
+	// (GDP and NFP; every device caches the same set).
+	PolicyHotGlobal Policy = iota
+	// PolicyHotPartition caches the most-accessed nodes within the
+	// device's own graph partition (SNP).
+	PolicyHotPartition
+	// PolicyHotPartitionPlus1Hop caches the most-accessed nodes among
+	// the device's partition and its 1-hop neighborhood (DNP).
+	PolicyHotPartitionPlus1Hop
+	// PolicyDegree caches the highest in-degree nodes regardless of
+	// measured access (ablation baseline).
+	PolicyDegree
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyHotGlobal:
+		return "hot-global"
+	case PolicyHotPartition:
+		return "hot-partition"
+	case PolicyHotPartitionPlus1Hop:
+		return "hot-partition+1hop"
+	case PolicyDegree:
+		return "degree"
+	default:
+		return "unknown"
+	}
+}
+
+// SelectConfig parameterizes cache selection.
+type SelectConfig struct {
+	Policy Policy
+	// Freq are dry-run access counts per node (nil allowed for
+	// PolicyDegree).
+	Freq []int64
+	// Assign maps node -> partition/device for the partition policies.
+	Assign []int32
+	// Graph supplies 1-hop expansion for DNP and degrees for
+	// PolicyDegree.
+	Graph *graph.Graph
+	// CapacityNodes is the maximum nodes one device may cache.
+	CapacityNodes int
+	// Devices is the device count.
+	Devices int
+}
+
+// Select returns, per device, the sorted list of cached node IDs.
+func Select(cfg SelectConfig) [][]graph.NodeID {
+	out := make([][]graph.NodeID, cfg.Devices)
+	if cfg.CapacityNodes <= 0 {
+		return out
+	}
+	switch cfg.Policy {
+	case PolicyHotGlobal:
+		top := topByScore(allNodes(len(cfg.Freq)), func(v graph.NodeID) int64 { return cfg.Freq[v] }, cfg.CapacityNodes)
+		for d := range out {
+			out[d] = append([]graph.NodeID(nil), top...)
+		}
+	case PolicyDegree:
+		n := cfg.Graph.NumNodes()
+		top := topByScore(allNodes(n), func(v graph.NodeID) int64 { return int64(cfg.Graph.Degree(v)) }, cfg.CapacityNodes)
+		for d := range out {
+			out[d] = append([]graph.NodeID(nil), top...)
+		}
+	case PolicyHotPartition:
+		cands := partitionCandidates(cfg.Assign, cfg.Devices, nil)
+		for d := range out {
+			out[d] = topByScore(cands[d], func(v graph.NodeID) int64 { return cfg.Freq[v] }, cfg.CapacityNodes)
+		}
+	case PolicyHotPartitionPlus1Hop:
+		cands := partitionCandidates(cfg.Assign, cfg.Devices, cfg.Graph)
+		for d := range out {
+			out[d] = topByScore(cands[d], func(v graph.NodeID) int64 { return cfg.Freq[v] }, cfg.CapacityNodes)
+		}
+	}
+	for d := range out {
+		sort.Slice(out[d], func(i, j int) bool { return out[d][i] < out[d][j] })
+	}
+	return out
+}
+
+func allNodes(n int) []graph.NodeID {
+	ns := make([]graph.NodeID, n)
+	for i := range ns {
+		ns[i] = graph.NodeID(i)
+	}
+	return ns
+}
+
+// partitionCandidates lists each device's cacheable node set: its
+// partition, optionally expanded by the 1-hop in-neighborhood (the
+// sources a DNP device must read to compute its destinations).
+func partitionCandidates(assign []int32, devices int, g *graph.Graph) [][]graph.NodeID {
+	cands := make([][]graph.NodeID, devices)
+	for v, d := range assign {
+		cands[d] = append(cands[d], graph.NodeID(v))
+	}
+	if g == nil {
+		return cands
+	}
+	for d := range cands {
+		seen := make(map[graph.NodeID]struct{}, len(cands[d])*2)
+		for _, v := range cands[d] {
+			seen[v] = struct{}{}
+		}
+		base := cands[d]
+		for _, v := range base {
+			for _, u := range g.Neighbors(v) {
+				if _, ok := seen[u]; !ok {
+					seen[u] = struct{}{}
+					cands[d] = append(cands[d], u)
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// topByScore returns up to k candidates with the highest score,
+// breaking ties by node ID for determinism.
+func topByScore(cands []graph.NodeID, score func(graph.NodeID) int64, k int) []graph.NodeID {
+	sorted := append([]graph.NodeID(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := score(sorted[i]), score(sorted[j])
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i] < sorted[j]
+	})
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}

@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/tensor"
+)
+
+// Location classifies where a feature read is served from, ordered by
+// preference per the paper's feature-map rules.
+type Location int
+
+// Read locations.
+const (
+	// LocGPU is a local cache hit.
+	LocGPU Location = iota
+	// LocPeerGPU is a peer device's cache over NVLink.
+	LocPeerGPU
+	// LocLocalCPU is the machine's own CPU memory (UVA over PCIe).
+	LocLocalCPU
+	// LocRemoteCPU is another machine's CPU memory.
+	LocRemoteCPU
+	numLocations
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case LocGPU:
+		return "gpu"
+	case LocPeerGPU:
+		return "peer-gpu"
+	case LocLocalCPU:
+		return "local-cpu"
+	case LocRemoteCPU:
+		return "remote-cpu"
+	default:
+		return fmt.Sprintf("loc(%d)", int(l))
+	}
+}
+
+// Store is the unified feature store: the master feature matrix
+// (conceptually partitioned across machine CPUs), per-device cache
+// bitsets, and the placement map.
+type Store struct {
+	Platform *hardware.Platform
+	// Feats is the master copy; nil in accounting mode.
+	Feats *tensor.Matrix
+	// Dim is the feature width.
+	Dim int
+	// LoadDim is the width actually moved per node read: Dim for
+	// GDP/SNP/DNP, Dim/C under NFP's dimension partitioning.
+	LoadDim int
+	// HostMachine[v] is the machine whose CPU stores v's feature.
+	HostMachine []int32
+	// cached[dev] is a bitset over nodes.
+	cached [][]uint64
+	// cachedLists keeps the configured cache lists for inspection.
+	cachedLists [][]graph.NodeID
+	// cpuCached[machine] is a bitset of features replicated into that
+	// machine's CPU memory beyond its hosted shard — the paper's
+	// footnote 3: "hotness-based caching is conducted using excess CPU
+	// memory". Nil when disabled.
+	cpuCached [][]uint64
+	numNodes  int
+}
+
+// NewStore creates a feature store for n nodes of width dim. feats may
+// be nil (accounting mode).
+func NewStore(p *hardware.Platform, n, dim int, feats *tensor.Matrix) *Store {
+	s := &Store{
+		Platform:    p,
+		Feats:       feats,
+		Dim:         dim,
+		LoadDim:     dim,
+		HostMachine: make([]int32, n),
+		cached:      make([][]uint64, p.NumDevices()),
+		cachedLists: make([][]graph.NodeID, p.NumDevices()),
+		numNodes:    n,
+	}
+	words := (n + 63) / 64
+	for d := range s.cached {
+		s.cached[d] = make([]uint64, words)
+	}
+	return s
+}
+
+// HostByRange partitions features across machine CPUs by node-ID range
+// (the GDP/NFP data layout for multi-machine training).
+func (s *Store) HostByRange() {
+	m := s.Platform.Machines
+	per := (s.numNodes + m - 1) / m
+	for v := range s.HostMachine {
+		h := v / per
+		if h >= m {
+			h = m - 1
+		}
+		s.HostMachine[v] = int32(h)
+	}
+}
+
+// HostByPartition places each node's feature on the machine hosting
+// its partition's device (the SNP/DNP-aware layout). assign maps node
+// -> device.
+func (s *Store) HostByPartition(assign []int32) {
+	for v, d := range assign {
+		s.HostMachine[v] = int32(s.Platform.MachineOf(int(d)))
+	}
+}
+
+// ConfigureCache installs the cache list for device dev.
+func (s *Store) ConfigureCache(dev int, nodes []graph.NodeID) {
+	bits := s.cached[dev]
+	for i := range bits {
+		bits[i] = 0
+	}
+	for _, v := range nodes {
+		bits[v>>6] |= 1 << (uint(v) & 63)
+	}
+	s.cachedLists[dev] = nodes
+}
+
+// CachedList returns the configured cache list of dev.
+func (s *Store) CachedList(dev int) []graph.NodeID { return s.cachedLists[dev] }
+
+// ConfigureCPUCache replicates the given nodes' features into machine
+// m's CPU memory, so its GPUs read them locally instead of remotely.
+func (s *Store) ConfigureCPUCache(m int, nodes []graph.NodeID) {
+	if s.cpuCached == nil {
+		s.cpuCached = make([][]uint64, s.Platform.Machines)
+	}
+	words := (s.numNodes + 63) / 64
+	bits := make([]uint64, words)
+	for _, v := range nodes {
+		bits[v>>6] |= 1 << (uint(v) & 63)
+	}
+	s.cpuCached[m] = bits
+}
+
+// isCPUCached reports whether machine m replicates v.
+func (s *Store) isCPUCached(m int, v graph.NodeID) bool {
+	if s.cpuCached == nil || s.cpuCached[m] == nil {
+		return false
+	}
+	return s.cpuCached[m][v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// IsCached reports whether dev caches v.
+func (s *Store) IsCached(dev int, v graph.NodeID) bool {
+	return s.cached[dev][v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// Locate applies the paper's position rules for device dev reading v:
+// own cache, then peer GPU (NVLink only), then local CPU, then remote.
+func (s *Store) Locate(dev int, v graph.NodeID) Location {
+	if s.IsCached(dev, v) {
+		return LocGPU
+	}
+	if s.Platform.HasNVLink {
+		m := s.Platform.MachineOf(dev)
+		lo := m * s.Platform.GPUsPerMachine
+		for d := lo; d < lo+s.Platform.GPUsPerMachine; d++ {
+			if d != dev && s.IsCached(d, v) {
+				return LocPeerGPU
+			}
+		}
+	}
+	m := s.Platform.MachineOf(dev)
+	if int(s.HostMachine[v]) == m || s.isCPUCached(m, v) {
+		return LocLocalCPU
+	}
+	return LocRemoteCPU
+}
+
+// LoadStats summarizes one Load call.
+type LoadStats struct {
+	// Nodes[loc] counts reads served by each location.
+	Nodes [numLocations]int64
+	// Bytes[loc] counts bytes moved from each location.
+	Bytes [numLocations]int64
+	// Seconds is the simulated time charged.
+	Seconds float64
+}
+
+// Add merges o into st.
+func (st *LoadStats) Add(o LoadStats) {
+	for i := range st.Nodes {
+		st.Nodes[i] += o.Nodes[i]
+		st.Bytes[i] += o.Bytes[i]
+	}
+	st.Seconds += o.Seconds
+}
+
+// locLink maps a location to the platform link it uses.
+func locLink(loc Location) hardware.LinkKind {
+	switch loc {
+	case LocGPU:
+		return hardware.LinkGPUMem
+	case LocPeerGPU:
+		return hardware.LinkNVLink
+	case LocLocalCPU:
+		return hardware.LinkPCIe
+	default:
+		return hardware.LinkNetwork
+	}
+}
+
+// VolumeOnly computes the load statistics for dev reading nodes
+// without charging time or moving data — the dry-run path the planner
+// uses to estimate T_load.
+func (s *Store) VolumeOnly(dev int, nodes []graph.NodeID) LoadStats {
+	var st LoadStats
+	perNode := int64(4 * s.LoadDim)
+	for _, v := range nodes {
+		loc := s.Locate(dev, v)
+		st.Nodes[loc]++
+		st.Bytes[loc] += perNode
+	}
+	return st
+}
+
+// chargeTime converts accumulated volumes into simulated seconds on
+// dev's clock (stage StageLoad) and returns the seconds.
+func (s *Store) chargeTime(dev *device.Device, st *LoadStats) {
+	p := s.Platform
+	var t float64
+	for loc := Location(0); loc < numLocations; loc++ {
+		if st.Bytes[loc] == 0 {
+			continue
+		}
+		kind := locLink(loc)
+		conc := 1
+		if kind == hardware.LinkNetwork {
+			conc = p.GPUsPerMachine
+		}
+		t += p.TransferTime(kind, st.Bytes[loc], conc)
+	}
+	st.Seconds = t
+	dev.Charge(device.StageLoad, t)
+}
+
+// Load gathers the features of nodes for device dev, charging
+// simulated load time. In accounting mode (nil master features) only
+// statistics are produced and the returned matrix is nil.
+func (s *Store) Load(dev *device.Device, nodes []graph.NodeID) (*tensor.Matrix, LoadStats) {
+	st := s.VolumeOnly(dev.ID, nodes)
+	s.chargeTime(dev, &st)
+	if s.Feats == nil {
+		return nil, st
+	}
+	return tensor.Gather(s.Feats, nodes), st
+}
+
+// LoadDims gathers the column slice [dimLo, dimHi) of the requested
+// nodes — NFP's per-device feature shard read. Accounting uses LoadDim
+// (already set to the shard width under NFP).
+func (s *Store) LoadDims(dev *device.Device, nodes []graph.NodeID, dimLo, dimHi int) (*tensor.Matrix, LoadStats) {
+	st := s.VolumeOnly(dev.ID, nodes)
+	s.chargeTime(dev, &st)
+	if s.Feats == nil {
+		return nil, st
+	}
+	out := tensor.New(len(nodes), dimHi-dimLo)
+	for i, v := range nodes {
+		copy(out.Row(i), s.Feats.Row(int(v))[dimLo:dimHi])
+	}
+	return out, st
+}

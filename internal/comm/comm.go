@@ -1,0 +1,224 @@
+// Package comm implements the communication layer of the unified
+// execution engine: the collectives the paper's strategies insert at
+// DGL kernel barriers (AllToAll, AllBroadcast/AllGather, AllReduce) as
+// message exchanges between device goroutines, with every payload's
+// bytes charged to the simulated device clocks using the platform's
+// link model and recorded in a volume ledger for the cost models.
+//
+// Collectives are synchronous: every device of the group must call the
+// same sequence of collectives (the engine runs devices in lockstep per
+// mini-batch step). Payload matrices move by reference — the "wire" is
+// a Go channel — but timing is charged as if the bytes crossed the
+// platform's PCIe/NVLink/network links.
+package comm
+
+import (
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/hardware"
+	"repro/internal/tensor"
+)
+
+// Payload is one message between devices. In accounting mode Mat and
+// Ints are nil and only Bytes counts; in real mode Bytes adds to the
+// encoded size of Mat/Ints (e.g. header overheads are ignored).
+type Payload struct {
+	Mat  *tensor.Matrix
+	Ints []int32
+	// Data carries an arbitrary structure (e.g. an encoded subgraph);
+	// its wire size is NOT derived automatically — senders account for
+	// it via Bytes.
+	Data  any
+	Bytes int64
+}
+
+// SizeBytes returns the accounted wire size.
+func (p Payload) SizeBytes() int64 {
+	s := p.Bytes + 4*int64(len(p.Ints))
+	if p.Mat != nil {
+		s += p.Mat.Bytes()
+	}
+	return s
+}
+
+// Comm connects the devices of one group.
+type Comm struct {
+	Group  *device.Group
+	Ledger *Ledger
+	n      int
+	boxes  [][]chan Payload // boxes[src][dst], buffered depth 1
+}
+
+// New creates the communication fabric for a device group.
+func New(g *device.Group) *Comm {
+	n := len(g.Devices)
+	c := &Comm{Group: g, Ledger: NewLedger(), n: n}
+	c.boxes = make([][]chan Payload, n)
+	for i := range c.boxes {
+		c.boxes[i] = make([]chan Payload, n)
+		for j := range c.boxes[i] {
+			c.boxes[i][j] = make(chan Payload, 1)
+		}
+	}
+	return c
+}
+
+// NumDevices returns the group size.
+func (c *Comm) NumDevices() int { return c.n }
+
+// chargePairwise charges device dev for a pairwise exchange where
+// sendTo[j]/recvFrom[j] bytes move between dev and each peer j. The
+// device's link serializes its byte volume per link kind, but the
+// per-message latencies of concurrent peer connections pipeline, so
+// latency is charged once per link kind used; send and receive overlap
+// (full duplex), so the charge is the max of the two directions.
+func (c *Comm) chargePairwise(dev int, stage, op string, sendTo, recvFrom []int64) {
+	p := c.Group.Platform
+	var sendBytes, recvBytes [4]int64 // indexed by hardware.LinkKind
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		kind := p.InterconnectKind(dev, j)
+		if sendTo[j] > 0 {
+			sendBytes[kind] += sendTo[j]
+			c.Ledger.Add(op, kind, sendTo[j])
+		}
+		recvBytes[kind] += recvFrom[j]
+	}
+	dirTime := func(bytes [4]int64) float64 {
+		var t float64
+		for kind := hardware.LinkKind(0); int(kind) < len(bytes); kind++ {
+			if bytes[kind] == 0 {
+				continue
+			}
+			conc := 1
+			if kind == hardware.LinkNetwork {
+				conc = p.GPUsPerMachine // machine NIC shared by its GPUs
+			}
+			t += p.TransferTime(kind, bytes[kind], conc)
+		}
+		return t
+	}
+	t := dirTime(sendBytes)
+	if rt := dirTime(recvBytes); rt > t {
+		t = rt
+	}
+	c.Group.Devices[dev].Charge(stage, t)
+}
+
+// AllToAll exchanges outs[j] (destined to device j) among all devices
+// and returns the payloads received by dev (indexed by sender). The
+// paper's strategies use it to ship subgraphs (SNP/DNP Shuffle) and
+// hidden embeddings (Reshuffle).
+func (c *Comm) AllToAll(dev int, stage string, outs []Payload) []Payload {
+	sendTo := make([]int64, c.n)
+	recvFrom := make([]int64, c.n)
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		c.boxes[dev][j] <- outs[j]
+		sendTo[j] = outs[j].SizeBytes()
+	}
+	in := make([]Payload, c.n)
+	in[dev] = outs[dev] // local slot short-circuits
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		in[j] = <-c.boxes[j][dev]
+		recvFrom[j] = in[j].SizeBytes()
+	}
+	c.chargePairwise(dev, stage, "alltoall", sendTo, recvFrom)
+	return in
+}
+
+// AllGather broadcasts each device's payload to every other device
+// (the paper's AllBroadcast used by NFP to share layer-1 computation
+// graphs). Returns all payloads indexed by source device.
+func (c *Comm) AllGather(dev int, stage string, p Payload) []Payload {
+	outs := make([]Payload, c.n)
+	for j := range outs {
+		outs[j] = p
+	}
+	return c.AllToAll(dev, stage, outs)
+}
+
+// AllReduce sums mat element-wise across all devices and returns the
+// sum (identical, including float ordering, on every device). In
+// accounting mode mat may be nil; bytes is then the tensor wire size.
+// Timing follows the ring-allreduce model: 2·(C-1)/C · V over the
+// slowest link on the ring.
+func (c *Comm) AllReduce(dev int, stage string, mat *tensor.Matrix, bytes int64) *tensor.Matrix {
+	if mat != nil {
+		bytes = mat.Bytes()
+	}
+	var result *tensor.Matrix
+	if mat != nil {
+		parts := c.AllGatherNoCharge(dev, Payload{Mat: mat})
+		result = tensor.New(mat.Rows, mat.Cols)
+		for j := 0; j < c.n; j++ {
+			result.AddInPlace(parts[j].Mat)
+		}
+	}
+	p := c.Group.Platform
+	ringBW := p.Bandwidth[hardware.LinkPCIe]
+	if p.HasNVLink {
+		ringBW = p.Bandwidth[hardware.LinkNVLink]
+	}
+	kind := hardware.LinkPCIe
+	if p.Machines > 1 {
+		if nb := p.Bandwidth[hardware.LinkNetwork]; nb < ringBW {
+			ringBW = nb
+			kind = hardware.LinkNetwork
+		}
+	}
+	wire := int64(2 * float64(bytes) * float64(c.n-1) / float64(c.n))
+	t := p.Latency[kind]*float64(2*(c.n-1)) + float64(wire)/ringBW
+	c.Group.Devices[dev].Charge(stage, t)
+	c.Ledger.Add("allreduce", kind, wire)
+	return result
+}
+
+// AllGatherNoCharge performs the data movement of AllGather without
+// charging simulated time; used internally by AllReduce (whose timing
+// follows the ring model, not the naive gather) and by tests.
+func (c *Comm) AllGatherNoCharge(dev int, p Payload) []Payload {
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		c.boxes[dev][j] <- p
+	}
+	in := make([]Payload, c.n)
+	in[dev] = p
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		in[j] = <-c.boxes[j][dev]
+	}
+	return in
+}
+
+// Barrier blocks until every device has reached it.
+func (c *Comm) Barrier(dev int) {
+	c.AllGatherNoCharge(dev, Payload{})
+}
+
+// RunParallel launches fn once per device on its own goroutine and
+// waits for all to finish — the engine's worker harness (the simulated
+// analogue of the paper launching one DDP process per GPU).
+func RunParallel(n int, fn func(dev int)) {
+	var wg sync.WaitGroup
+	for d := 0; d < n; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			fn(d)
+		}(d)
+	}
+	wg.Wait()
+}

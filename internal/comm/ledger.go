@@ -1,0 +1,86 @@
+package comm
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hardware"
+)
+
+// Ledger accumulates communication volumes by operator and link kind.
+// The planner reads it after a dry-run epoch to feed the cost models
+// ("we collect the communication volume of different operations ...
+// without actually conducting the communication").
+type Ledger struct {
+	mu    sync.Mutex
+	bytes map[ledgerKey]int64
+}
+
+type ledgerKey struct {
+	Op   string
+	Kind hardware.LinkKind
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{bytes: map[ledgerKey]int64{}}
+}
+
+// Add records n bytes moved by op over link kind.
+func (l *Ledger) Add(op string, kind hardware.LinkKind, n int64) {
+	l.mu.Lock()
+	l.bytes[ledgerKey{op, kind}] += n
+	l.mu.Unlock()
+}
+
+// Total returns the bytes recorded for (op, kind).
+func (l *Ledger) Total(op string, kind hardware.LinkKind) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes[ledgerKey{op, kind}]
+}
+
+// TotalOp sums an operator's bytes across link kinds.
+func (l *Ledger) TotalOp(op string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t int64
+	for k, v := range l.bytes {
+		if k.Op == op {
+			t += v
+		}
+	}
+	return t
+}
+
+// Reset clears the ledger.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	l.bytes = map[ledgerKey]int64{}
+	l.mu.Unlock()
+}
+
+// Entry is one ledger row.
+type Entry struct {
+	Op    string
+	Kind  hardware.LinkKind
+	Bytes int64
+}
+
+// Snapshot returns all rows sorted by (op, kind) for deterministic
+// reporting.
+func (l *Ledger) Snapshot() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.bytes))
+	for k, v := range l.bytes {
+		out = append(out, Entry{Op: k.Op, Kind: k.Kind, Bytes: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/strategy"
+)
+
+// APT is the adaptive parallel training system. Typical use:
+//
+//	apt, _ := core.New(task)
+//	result, _ := apt.Train(epochs)
+//
+// or step-by-step: Prepare, Plan, BuildEngine, then drive the engine.
+type APT struct {
+	task    Task
+	profile *comm.Profile
+	part    *partition.Partitioning
+	dryRun  *DryRunStats
+
+	// Estimates are the planner's per-strategy predictions, best first.
+	Estimates []Estimate
+	// Choice is the selected strategy.
+	Choice strategy.Kind
+	// PlanWallSeconds is the wall-clock cost of Prepare+Plan (the
+	// paper's dry-run overhead measurement).
+	PlanWallSeconds float64
+
+	prepared bool
+	planned  bool
+}
+
+// New validates the task and creates the system.
+func New(task Task) (*APT, error) {
+	if err := task.normalize(); err != nil {
+		return nil, err
+	}
+	return &APT{task: task}, nil
+}
+
+// Task returns the normalized task.
+func (a *APT) Task() *Task { return &a.task }
+
+// Partition returns the graph partitioning (after Prepare).
+func (a *APT) Partition() *partition.Partitioning { return a.part }
+
+// Profile returns the measured operator speeds (after Prepare).
+func (a *APT) Profile() *comm.Profile { return a.profile }
+
+// DryRunStats returns the planner statistics (after Plan).
+func (a *APT) DryRunStats() *DryRunStats { return a.dryRun }
+
+// Prepare runs the paper's Prepare step: communication-operator
+// bandwidth trials and graph partitioning.
+func (a *APT) Prepare() error {
+	start := time.Now()
+	a.profile = comm.MeasureProfile(a.task.Platform)
+	if a.task.Partition != nil {
+		a.part = a.task.Partition
+	} else {
+		a.part = a.task.partitionGraph()
+	}
+	if err := a.part.Validate(false); err != nil {
+		return err
+	}
+	a.prepared = true
+	a.PlanWallSeconds += time.Since(start).Seconds()
+	return nil
+}
+
+// Plan runs the dry-run and cost models and selects the strategy.
+func (a *APT) Plan() (strategy.Kind, error) {
+	if !a.prepared {
+		if err := a.Prepare(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if _, err := a.DryRun(); err != nil {
+		return 0, err
+	}
+	cm := &CostModel{Profile: a.profile, Devices: a.task.Platform.NumDevices()}
+	a.Estimates = cm.Select(a.dryRun.PerStrategy)
+	a.Choice = a.Estimates[0].Kind
+	a.planned = true
+	a.PlanWallSeconds += time.Since(start).Seconds()
+	return a.Choice, nil
+}
+
+// buildStore assembles the unified feature store for one strategy:
+// host placement, per-strategy cache policy, and NFP's dimension-shard
+// accounting (paper §3.2 and §4.2).
+func (a *APT) buildStore(k strategy.Kind, freq []int64, real bool) *cache.Store {
+	t := &a.task
+	var feats = t.Feats
+	if !real {
+		feats = nil
+	}
+	s := cache.NewStore(t.Platform, t.Graph.NumNodes(), t.FeatDim, feats)
+	if k.NeedsPartition() {
+		s.HostByPartition(a.part.Assign)
+	} else {
+		s.HostByRange()
+	}
+	devices := t.Platform.NumDevices()
+	bytesPerNode := int64(4 * t.FeatDim)
+	if k == strategy.NFP {
+		shard := (t.FeatDim + devices - 1) / devices
+		s.LoadDim = shard
+		bytesPerNode = int64(4 * shard)
+	}
+	capNodes := 0
+	if bytesPerNode > 0 {
+		capNodes = int(t.CacheBytes / bytesPerNode)
+	}
+	policy := cachePolicyFor(k)
+	if t.CachePolicyOverride != nil {
+		policy = *t.CachePolicyOverride
+	}
+	lists := cache.Select(cache.SelectConfig{
+		Policy:        policy,
+		Freq:          freq,
+		Assign:        a.part.Assign,
+		Graph:         t.Graph,
+		CapacityNodes: capNodes,
+		Devices:       devices,
+	})
+	for d, l := range lists {
+		s.ConfigureCache(d, l)
+	}
+	if t.Platform.Machines > 1 && t.CPUCacheBytes > 0 {
+		a.configureCPUCaches(s, freq)
+	}
+	return s
+}
+
+// configureCPUCaches replicates each machine's hottest remotely-hosted
+// features into its CPU memory, within the per-machine budget.
+func (a *APT) configureCPUCaches(s *cache.Store, freq []int64) {
+	t := &a.task
+	capNodes := int(t.CPUCacheBytes / int64(4*t.FeatDim))
+	if capNodes <= 0 {
+		return
+	}
+	for m := 0; m < t.Platform.Machines; m++ {
+		cands := make([]graph.NodeID, 0, len(freq))
+		for v := range freq {
+			if int(s.HostMachine[v]) != m {
+				cands = append(cands, graph.NodeID(v))
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			fi, fj := freq[cands[i]], freq[cands[j]]
+			if fi != fj {
+				return fi > fj
+			}
+			return cands[i] < cands[j]
+		})
+		if len(cands) > capNodes {
+			cands = cands[:capNodes]
+		}
+		s.ConfigureCPUCache(m, cands)
+	}
+}
+
+// engineConfig assembles an engine configuration (the Adapt step).
+func (a *APT) engineConfig(k strategy.Kind, store *cache.Store, mode engine.Mode) engine.Config {
+	t := &a.task
+	cfg := engine.Config{
+		Platform:       t.Platform,
+		Graph:          t.Graph,
+		Store:          store,
+		NewModel:       t.NewModel,
+		NewOptimizer:   t.NewOptimizer,
+		Seeds:          t.Seeds,
+		Sampling:       t.Sampling,
+		BatchSize:      t.BatchSize,
+		Assign:         a.part.Assign,
+		Kind:           k,
+		Mode:           mode,
+		Seed:           t.Seed,
+		RecordTimeline: t.RecordTimeline,
+	}
+	if mode == engine.Real {
+		cfg.Labels = t.Labels
+	}
+	return cfg
+}
+
+// BuildEngine performs the Adapt step for the given strategy: it
+// configures the data layout (feature store, caches) and the unified
+// execution engine. Real mode is used when the task has features.
+func (a *APT) BuildEngine(k strategy.Kind) (*engine.Engine, error) {
+	if !a.planned && a.dryRun == nil {
+		// The cache configuration needs access frequencies even when
+		// the user pins a strategy without planning.
+		if !a.prepared {
+			if err := a.Prepare(); err != nil {
+				return nil, err
+			}
+		}
+		a.dryRun = &DryRunStats{Freq: a.collectFrequencies()}
+	}
+	mode := engine.Accounting
+	if a.task.Feats != nil {
+		mode = engine.Real
+	}
+	store := a.buildStore(k, a.dryRun.Freq, mode == engine.Real)
+	return engine.New(a.engineConfig(k, store, mode))
+}
+
+// Result summarizes a Train run.
+type Result struct {
+	Choice          strategy.Kind
+	Estimates       []Estimate
+	PlanWallSeconds float64
+	// Epochs holds per-epoch statistics of the actual run.
+	Epochs []engine.EpochStats
+	// Model is device 0's trained replica (real mode).
+	Model *nn.Model
+}
+
+// SimulatedEpochSeconds averages the simulated epoch time.
+func (r *Result) SimulatedEpochSeconds() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range r.Epochs {
+		s += e.EpochTime()
+	}
+	return s / float64(len(r.Epochs))
+}
+
+// Train runs the full APT pipeline: Prepare, Plan, Adapt, and epochs
+// of training under the selected strategy.
+func (a *APT) Train(epochs int) (*Result, error) {
+	if epochs <= 0 {
+		return nil, fmt.Errorf("core: epochs = %d", epochs)
+	}
+	if _, err := a.Plan(); err != nil {
+		return nil, err
+	}
+	return a.TrainWith(a.Choice, epochs)
+}
+
+// TrainWith trains under a pinned strategy (used by the benchmarks to
+// evaluate every strategy, and by users who want to override APT).
+func (a *APT) TrainWith(k strategy.Kind, epochs int) (*Result, error) {
+	e, err := a.BuildEngine(k)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Choice:          k,
+		Estimates:       a.Estimates,
+		PlanWallSeconds: a.PlanWallSeconds,
+	}
+	for i := 0; i < epochs; i++ {
+		res.Epochs = append(res.Epochs, e.RunEpoch())
+	}
+	res.Model = e.Model(0)
+	return res, nil
+}

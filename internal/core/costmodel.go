@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/strategy"
+)
+
+// Estimate is the cost model's predicted per-epoch time of one
+// strategy, decomposed per the paper's Eq. (2). T_train is identical
+// across strategies and excluded from comparison by default; it can be
+// included for the full-cost ablation.
+type Estimate struct {
+	Kind strategy.Kind
+	// BuildSec estimates T_build: sampling plus computation-graph
+	// shuffling.
+	BuildSec float64
+	// LoadSec estimates T_load from the collected per-location volumes
+	// and the profiled read speeds.
+	LoadSec float64
+	// ShuffleSec estimates T_shuffle from the collected hidden-embedding
+	// volumes and the profiled collective speeds.
+	ShuffleSec float64
+	// TrainSec carries the (strategy-common) computation estimate; set
+	// only when requested.
+	TrainSec float64
+	// OOM marks a strategy predicted to exceed device memory.
+	OOM bool
+}
+
+// ComparableCost is the strategy-unique portion the planner compares
+// (paper: "the costs have common parts for all strategies ... we
+// compare only the unique parts").
+func (e Estimate) ComparableCost() float64 {
+	return e.BuildSec + e.LoadSec + e.ShuffleSec
+}
+
+// TotalCost includes the common training term.
+func (e Estimate) TotalCost() float64 { return e.ComparableCost() + e.TrainSec }
+
+// CostModel converts dry-run volumes into per-strategy time estimates
+// using the Prepare-step operator profile.
+type CostModel struct {
+	Profile *comm.Profile
+	Devices int
+	// IncludeTrain adds the common T_train term (ablation switch).
+	IncludeTrain bool
+}
+
+// Estimate applies the paper's §3.2 cost model to one strategy's
+// dry-run statistics. Each communication operator is treated
+// separately with its profiled speed and per-call latency, and the
+// per-stage estimate is the maximum over devices (synchronous steps
+// wait for the slowest device, which matters on skewed graphs where
+// partition owners serve unequal volumes).
+func (cm *CostModel) Estimate(k strategy.Kind, st engine.EpochStats) Estimate {
+	out := Estimate{Kind: k, OOM: st.OOM, BuildSec: st.SampleSec}
+	p := cm.Profile
+	var buildMax, loadMax, shufMax float64
+	for i := range st.PerDevice {
+		ws := &st.PerDevice[i]
+
+		// T_build communication: subgraph shipping per operator.
+		build := float64(ws.GraphA2ABytes)/p.AllToAllBps +
+			float64(ws.GraphBcastBytes)/p.AllGatherBps +
+			float64(ws.BuildA2ACalls)*p.AllToAllCallSec +
+			float64(ws.BuildBcastCalls)*p.AllGatherCallSec
+
+		// T_load: per-location volumes over the profiled read speeds,
+		// plus the per-step read-issue latencies.
+		var load float64
+		load += float64(ws.Load.Bytes[cache.LocGPU]) / p.GPUReadBps
+		if ws.Load.Bytes[cache.LocPeerGPU] > 0 && p.PeerReadBps > 0 {
+			load += float64(ws.Load.Bytes[cache.LocPeerGPU]) / p.PeerReadBps
+		}
+		load += float64(ws.Load.Bytes[cache.LocLocalCPU]) / p.UVAReadBps
+		if ws.Load.Bytes[cache.LocRemoteCPU] > 0 {
+			load += float64(ws.Load.Bytes[cache.LocRemoteCPU]) / p.RemoteReadBps
+		}
+		load += float64(st.NumBatches) * p.ReadCallSec
+
+		// T_shuffle: hidden embeddings + gradients per operator.
+		shuf := float64(ws.HiddenA2ABytes)/p.AllToAllBps +
+			float64(ws.HiddenBcastBytes)/p.AllGatherBps +
+			float64(ws.ShufA2ACalls)*p.AllToAllCallSec +
+			float64(ws.ShufBcastCalls)*p.AllGatherCallSec
+
+		buildMax = maxf(buildMax, build)
+		loadMax = maxf(loadMax, load)
+		shufMax = maxf(shufMax, shuf)
+	}
+	out.BuildSec += buildMax
+	out.LoadSec = loadMax
+	out.ShuffleSec = shufMax
+	if cm.IncludeTrain {
+		out.TrainSec = st.TrainSec
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Select returns the estimates for all candidate strategies sorted
+// best-first; OOM-predicted strategies sort last.
+func (cm *CostModel) Select(stats map[strategy.Kind]engine.EpochStats) []Estimate {
+	ests := make([]Estimate, 0, len(stats))
+	for k, st := range stats {
+		ests = append(ests, cm.Estimate(k, st))
+	}
+	sort.Slice(ests, func(i, j int) bool {
+		if ests[i].OOM != ests[j].OOM {
+			return !ests[i].OOM
+		}
+		return ests[i].ComparableCost() < ests[j].ComparableCost()
+	})
+	return ests
+}
+
+// FormatEstimates renders a planner report.
+func FormatEstimates(ests []Estimate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %10s\n", "strat", "build(s)", "load(s)", "shuffle(s)", "unique(s)")
+	for _, e := range ests {
+		oom := ""
+		if e.OOM {
+			oom = " [OOM]"
+		}
+		fmt.Fprintf(&b, "%-6s %10.4f %10.4f %10.4f %10.4f%s\n",
+			e.Kind, e.BuildSec, e.LoadSec, e.ShuffleSec, e.ComparableCost(), oom)
+	}
+	return b.String()
+}

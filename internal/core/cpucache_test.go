@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+)
+
+// TestCPUCacheReducesRemoteReads checks the footnote-3 mechanism:
+// per-machine CPU replication of hot remote features converts remote
+// reads into local ones on the distributed platform.
+func TestCPUCacheReducesRemoteReads(t *testing.T) {
+	spec, err := dataset.ByAbbr("PS", 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.Build(spec, false)
+	mk := func(cpuCache int64) Task {
+		return Task{
+			Graph:   d.Graph,
+			FeatDim: spec.FeatDim,
+			Seeds:   d.TrainSeeds,
+			NewModel: func() *nn.Model {
+				return nn.NewGraphSAGE(spec.FeatDim, 32, spec.Classes, 2)
+			},
+			Sampling:      sample.Config{Fanouts: []int{10, 10}},
+			BatchSize:     64,
+			Platform:      hardware.FourMachines4GPU(),
+			CacheBytes:    d.CacheBytesFraction(0.05),
+			CPUCacheBytes: cpuCache,
+			Seed:          3,
+		}
+	}
+	run := func(task Task) int64 {
+		a, err := New(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := a.BuildEngine(strategy.GDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := eng.RunEpoch()
+		return st.Totals.Load.Bytes[cache.LocRemoteCPU]
+	}
+	off := run(mk(0))
+	on := run(mk(d.CacheBytesFraction(0.3)))
+	if off == 0 {
+		t.Fatal("no remote reads without CPU cache; test setup broken")
+	}
+	if on >= off {
+		t.Errorf("CPU cache did not reduce remote reads: %d -> %d", off, on)
+	}
+	if float64(on) > 0.7*float64(off) {
+		t.Errorf("CPU cache too weak: %d -> %d (want >30%% cut)", off, on)
+	}
+}

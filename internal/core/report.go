@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Report renders everything the planner learned about the task: the
+// profiled operator speeds, the partition quality, the dry-run access
+// skew, the per-strategy estimates, and the adapted execution plan of
+// the selected strategy. Available after Plan.
+func (a *APT) Report() string {
+	var b strings.Builder
+	t := &a.task
+	fmt.Fprintf(&b, "APT plan report — %d nodes, %d edges, %d-dim features, %d devices\n",
+		t.Graph.NumNodes(), t.Graph.NumEdges(), t.FeatDim, t.Platform.NumDevices())
+
+	if a.profile != nil {
+		p := a.profile
+		fmt.Fprintf(&b, "\noperator profile (Prepare):\n")
+		fmt.Fprintf(&b, "  alltoall %.1f GB/s  broadcast %.1f GB/s  allreduce %.1f GB/s\n",
+			p.AllToAllBps/1e9, p.AllGatherBps/1e9, p.AllReduceBps/1e9)
+		fmt.Fprintf(&b, "  uva-read %.1f GB/s  remote-read %.1f GB/s  peer-read %.1f GB/s\n",
+			p.UVAReadBps/1e9, p.RemoteReadBps/1e9, p.PeerReadBps/1e9)
+	}
+	if a.part != nil {
+		q := partition.Evaluate(t.Graph, a.part)
+		fmt.Fprintf(&b, "\ngraph partition: %d parts, edge cut %.1f%%, imbalance %.2f\n",
+			a.part.NumParts, q.CutRatio*100, q.Imbalance)
+	}
+	if a.dryRun != nil && a.dryRun.Freq != nil {
+		fmt.Fprintf(&b, "\nnode-access skew (dry-run):\n%s",
+			graph.FormatSkewTable(graph.AccessSkew(a.dryRun.Freq)))
+	}
+	if len(a.Estimates) > 0 {
+		fmt.Fprintf(&b, "\ncost-model estimates:\n%s", FormatEstimates(a.Estimates))
+		fmt.Fprintf(&b, "selected: %v (planning wall time %.2fs)\n", a.Choice, a.PlanWallSeconds)
+		fmt.Fprintf(&b, "\n%s", engine.DescribePlan(a.Choice, t.NewModel()))
+	}
+	return b.String()
+}

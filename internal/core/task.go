@@ -1,0 +1,139 @@
+// Package core implements the APT system of the paper: given the
+// specifics of a GNN training task (graph, model, sampling algorithm,
+// hardware platform), it measures communication-operator speeds
+// (Prepare), dry-runs one epoch to collect data-dependent statistics
+// and applies cost models to pick the fastest parallelization strategy
+// (Plan), configures the unified execution engine and feature store
+// for the chosen strategy (Adapt), and trains (Run).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// PartitionerKind selects how SNP/DNP partition the graph.
+type PartitionerKind int
+
+// Partitioners.
+const (
+	// PartitionMultilevel is the METIS-quality multilevel partitioner
+	// (the paper's default).
+	PartitionMultilevel PartitionerKind = iota
+	// PartitionRandom is the Fig. 11 baseline.
+	PartitionRandom
+)
+
+// Task is the user-facing specification of a GNN training job.
+type Task struct {
+	// Graph is the data graph (in-neighbor CSR).
+	Graph *graph.Graph
+	// Feats is the input feature matrix; nil runs the task in
+	// accounting mode (timing only).
+	Feats *tensor.Matrix
+	// FeatDim is the input feature dimension (required; must match
+	// Feats when present).
+	FeatDim int
+	// Labels are node classes (required when Feats is present).
+	Labels []int32
+	// Seeds are the training seed nodes.
+	Seeds []graph.NodeID
+	// NewModel constructs the GNN model (DGL/PyG stand-in). The model's
+	// first-layer input dimension must equal FeatDim.
+	NewModel func() *nn.Model
+	// NewOptimizer constructs the per-replica optimizer; nil => SGD.
+	NewOptimizer func() nn.Optimizer
+	// Sampling is the graph-sampling configuration (fanouts).
+	Sampling sample.Config
+	// BatchSize is the per-GPU mini-batch size (paper default 1024).
+	BatchSize int
+	// Platform describes the hardware.
+	Platform *hardware.Platform
+	// CacheBytes is the per-GPU feature-cache budget; 0 uses the
+	// platform default.
+	CacheBytes int64
+	// CPUCacheBytes is per-machine excess CPU memory used to replicate
+	// hot remote features (paper footnote 3); 0 disables. Only
+	// meaningful on multi-machine platforms.
+	CPUCacheBytes int64
+	// Partitioner selects the SNP/DNP graph partitioner.
+	Partitioner PartitionerKind
+	// Partition supplies a precomputed partitioning (e.g. from the
+	// aptpart tool, mirroring the paper's offline DGL-style
+	// partitioning step); when set, Prepare skips partitioning.
+	Partition *partition.Partitioning
+	// CachePolicyOverride pins one cache policy for every strategy
+	// (nil uses the paper's per-strategy rules); the cache-policy
+	// ablation sets it to the degree-based PaGraph baseline.
+	CachePolicyOverride *cache.Policy
+	// RecordTimeline captures per-step stage times in every epoch's
+	// statistics (engine.EpochStats.Timeline).
+	RecordTimeline bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// normalize fills defaults and validates.
+func (t *Task) normalize() error {
+	if t.Graph == nil || t.Graph.NumNodes() == 0 {
+		return fmt.Errorf("core: task has no graph")
+	}
+	if t.NewModel == nil {
+		return fmt.Errorf("core: task has no model")
+	}
+	if len(t.Seeds) == 0 {
+		return fmt.Errorf("core: task has no training seeds")
+	}
+	if t.Platform == nil {
+		return fmt.Errorf("core: task has no platform")
+	}
+	if err := t.Platform.Validate(); err != nil {
+		return err
+	}
+	if t.BatchSize <= 0 {
+		t.BatchSize = 1024
+	}
+	if t.CacheBytes == 0 {
+		t.CacheBytes = t.Platform.DefaultCacheBytes
+	}
+	if len(t.Sampling.Fanouts) == 0 {
+		return fmt.Errorf("core: task has no sampling fanouts")
+	}
+	probe := t.NewModel()
+	if len(probe.Layers) != len(t.Sampling.Fanouts) {
+		return fmt.Errorf("core: model has %d layers but %d fanouts",
+			len(probe.Layers), len(t.Sampling.Fanouts))
+	}
+	if t.FeatDim == 0 && t.Feats != nil {
+		t.FeatDim = t.Feats.Cols
+	}
+	if t.FeatDim != probe.Layers[0].InDim() {
+		return fmt.Errorf("core: feature dim %d != model input dim %d",
+			t.FeatDim, probe.Layers[0].InDim())
+	}
+	if t.Feats != nil && t.Feats.Cols != t.FeatDim {
+		return fmt.Errorf("core: feature matrix width %d != FeatDim %d", t.Feats.Cols, t.FeatDim)
+	}
+	if t.Feats != nil && t.Labels == nil {
+		return fmt.Errorf("core: real-mode task needs labels")
+	}
+	return nil
+}
+
+// partitionGraph runs the configured partitioner over the task graph.
+func (t *Task) partitionGraph() *partition.Partitioning {
+	k := t.Platform.NumDevices()
+	switch t.Partitioner {
+	case PartitionRandom:
+		return partition.Random(t.Graph, k, t.Seed)
+	default:
+		return partition.Multilevel(t.Graph, k, partition.MultilevelConfig{Seed: t.Seed, EdgeBalanced: true})
+	}
+}

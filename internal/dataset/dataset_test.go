@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+func TestPresetsBuild(t *testing.T) {
+	for _, spec := range Presets(0.05) { // tiny scale for test speed
+		d := Build(spec, false)
+		if err := d.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Abbr, err)
+		}
+		if len(d.TrainSeeds) == 0 || len(d.TestSeeds) == 0 {
+			t.Errorf("%s: empty splits", spec.Abbr)
+		}
+		if d.Feats != nil {
+			t.Errorf("%s: features built when not requested", spec.Abbr)
+		}
+		for _, s := range d.TrainSeeds {
+			if int(s) >= d.Graph.NumNodes() {
+				t.Fatalf("%s: seed out of range", spec.Abbr)
+			}
+		}
+	}
+}
+
+func TestFeaturesCarryLabelSignal(t *testing.T) {
+	spec := Presets(0.02)[0]
+	d := Build(spec, true)
+	if d.Feats == nil || d.Feats.Rows != d.Graph.NumNodes() || d.Feats.Cols != spec.FeatDim {
+		t.Fatal("feature shape wrong")
+	}
+	// The label coordinate should be elevated on average.
+	var sig, other float64
+	n := 0
+	for v := 0; v < d.Graph.NumNodes(); v += 7 {
+		c := int(d.Labels[v]) % spec.FeatDim
+		sig += float64(d.Feats.At(v, c))
+		other += float64(d.Feats.At(v, (c+1)%spec.FeatDim))
+		n++
+	}
+	if sig/float64(n) < other/float64(n)+0.5 {
+		t.Errorf("label signal weak: %v vs %v", sig/float64(n), other/float64(n))
+	}
+}
+
+// TestAccessSkewOrdering verifies the property the whole evaluation
+// hinges on: PS accesses are the most concentrated, FS the most
+// scattered, IM in between (paper Table 3).
+func TestAccessSkewOrdering(t *testing.T) {
+	top1 := map[string]float64{}
+	for _, spec := range Presets(0.10) {
+		d := Build(spec, false)
+		freq := make([]int64, d.Graph.NumNodes())
+		s := sample.NewSampler(d.Graph, sample.Config{Fanouts: []int{10, 10, 10}}, graph.NewRNG(3))
+		for lo := 0; lo < len(d.TrainSeeds); lo += 512 {
+			hi := lo + 512
+			if hi > len(d.TrainSeeds) {
+				hi = len(d.TrainSeeds)
+			}
+			mb := s.Sample(d.TrainSeeds[lo:hi])
+			sample.CountLayer1SrcAccesses(freq, mb)
+		}
+		buckets := graph.AccessSkew(freq)
+		top1[spec.Abbr] = buckets[0].AccessRatio
+	}
+	t.Logf("top-1%% access ratios: PS=%.3f IM=%.3f FS=%.3f", top1["PS"], top1["IM"], top1["FS"])
+	if !(top1["PS"] > top1["IM"] && top1["IM"] > top1["FS"]) {
+		t.Errorf("skew ordering violated: PS=%.3f IM=%.3f FS=%.3f (want PS > IM > FS)",
+			top1["PS"], top1["IM"], top1["FS"])
+	}
+	if top1["PS"] < 0.12 {
+		t.Errorf("PS top-1%% = %.3f, want strongly skewed (> 0.12 at test scale)", top1["PS"])
+	}
+	if top1["FS"] > 0.10 {
+		t.Errorf("FS top-1%% = %.3f, want scattered (< 0.10 at test scale)", top1["FS"])
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	if _, err := ByAbbr("PS", 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByAbbr("friendster-sim", 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByAbbr("nope", 1); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+}
+
+func TestCacheBytesFraction(t *testing.T) {
+	spec := Presets(0.02)[0]
+	d := Build(spec, false)
+	if d.CacheBytesFraction(0.5)*2 != d.FeatureBytes() {
+		t.Error("fraction math wrong")
+	}
+}
+
+func TestWithDims(t *testing.T) {
+	s := Presets(1)[0].WithDims(64)
+	if s.FeatDim != 64 {
+		t.Error("WithDims failed")
+	}
+	if Presets(1)[0].FeatDim == 64 {
+		t.Error("WithDims mutated preset")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Presets(0.02)[1]
+	a, b := Build(spec, false), Build(spec, false)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Error("builds differ")
+	}
+	for i := range a.TrainSeeds {
+		if a.TrainSeeds[i] != b.TrainSeeds[i] {
+			t.Fatal("seed splits differ")
+		}
+	}
+}
+
+func TestHomophilyIncreasesLabelPurity(t *testing.T) {
+	spec := Presets(0.03)[1]
+	spec.Classes = 8
+	spec.HomophilyDegree = 0
+	plain := Build(spec, false)
+	spec2 := spec
+	spec2.HomophilyDegree = 8
+	homo := Build(spec2, false)
+	purity := func(d *Dataset) float64 {
+		same, total := 0, 0
+		for v := 0; v < d.Graph.NumNodes(); v += 3 {
+			for _, u := range d.Graph.Neighbors(int32(v)) {
+				if d.Labels[u] == d.Labels[v] {
+					same++
+				}
+				total++
+			}
+		}
+		return float64(same) / float64(total+1)
+	}
+	pp, ph := purity(plain), purity(homo)
+	if ph <= pp+0.1 {
+		t.Errorf("homophily edges did not raise label purity: %.3f -> %.3f", pp, ph)
+	}
+	if homo.Graph.NumEdges() <= plain.Graph.NumEdges() {
+		t.Error("homophily edges missing")
+	}
+}
+
+func TestTrainTestSplitsDisjoint(t *testing.T) {
+	d := Build(Presets(0.03)[0], false)
+	seen := map[int32]bool{}
+	for _, s := range d.TrainSeeds {
+		seen[s] = true
+	}
+	for _, s := range d.TestSeeds {
+		if seen[s] {
+			t.Fatalf("seed %d in both splits", s)
+		}
+	}
+}

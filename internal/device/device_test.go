@@ -1,0 +1,80 @@
+package device
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func TestNewGroupTopology(t *testing.T) {
+	g := NewGroup(hardware.FourMachines4GPU())
+	if len(g.Devices) != 16 {
+		t.Fatalf("got %d devices", len(g.Devices))
+	}
+	if g.Devices[5].Machine != 1 || g.Devices[5].ID != 5 {
+		t.Errorf("device 5 = %+v", g.Devices[5])
+	}
+}
+
+func TestChargeConcurrent(t *testing.T) {
+	g := NewGroup(hardware.SingleMachine8GPU())
+	d := g.Devices[0]
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Charge(StageLoad, 0.001)
+		}()
+	}
+	wg.Wait()
+	if e := d.Elapsed(StageLoad); e < 0.0999 || e > 0.1001 {
+		t.Errorf("concurrent charges lost: %v", e)
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	g := NewGroup(hardware.SingleMachine8GPU())
+	d := g.Devices[0]
+	d.Alloc(100)
+	d.Alloc(200)
+	if d.MemUsed() != 300 {
+		t.Errorf("MemUsed = %d", d.MemUsed())
+	}
+	d.Free(300)
+	if d.MemUsed() != 0 || d.OOM() {
+		t.Error("free accounting wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative memory did not panic")
+		}
+	}()
+	d.Free(1)
+}
+
+func TestOOMSticky(t *testing.T) {
+	g := NewGroup(hardware.SingleMachine8GPU())
+	d := g.Devices[0]
+	d.Alloc(d.MemUsed() + 17*hardware.GB)
+	if !d.OOM() {
+		t.Fatal("no OOM at 17GB on 16GB device")
+	}
+	d.Free(17 * hardware.GB)
+	if !d.OOM() {
+		t.Error("OOM flag must be sticky (the overflow happened)")
+	}
+}
+
+func TestStageMaxAcrossDevices(t *testing.T) {
+	g := NewGroup(hardware.WithDevices(hardware.SingleMachine8GPU(), 1, 3))
+	g.Devices[0].Charge(StageTrain, 1)
+	g.Devices[1].Charge(StageTrain, 5)
+	g.Devices[2].Charge(StageTrain, 3)
+	g.Devices[2].Charge(StageLoad, 9)
+	mx := g.StageMax(StageTrain, StageLoad)
+	if mx[StageTrain] != 5 || mx[StageLoad] != 9 {
+		t.Errorf("StageMax = %v", mx)
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/sample"
+)
+
+// FLOP accounting. Both execution modes charge the same simulated
+// compute times, derived from block shapes and layer dimensions; real
+// mode additionally performs the arithmetic.
+
+// chargeDense charges f dense-matmul FLOPs to the train stage.
+func (w *worker) chargeDense(f float64) {
+	w.dev.Charge(device.StageTrain, w.eng.cfg.Platform.DenseTime(f))
+}
+
+// chargeSparse charges f memory-bound aggregation FLOPs.
+func (w *worker) chargeSparse(f float64) {
+	w.dev.Charge(device.StageTrain, w.eng.cfg.Platform.SparseTime(f))
+}
+
+// layerFLOPs returns the (dense, sparse) forward FLOPs of running layer
+// l on a block with the given source/edge counts.
+func layerFLOPs(l nn.Layer, nSrc, nEdges int64) (dense, sparse float64) {
+	in, out := float64(l.InDim()), float64(l.OutDim())
+	switch lt := l.(type) {
+	case *nn.GATLayer:
+		// Per head: projection + attention scores + weighted sum.
+		dh := float64(lt.OutPerHead())
+		heads := float64(lt.Heads)
+		dense = 2 * float64(nSrc) * in * dh * heads
+		sparse = (4*dh + 2*dh) * float64(nEdges) * heads
+	default:
+		dense = 2 * float64(nSrc) * in * out
+		sparse = 2 * float64(nEdges) * out
+	}
+	return dense, sparse
+}
+
+// chargeLayerCompute charges one layer's compute on a block; backward
+// passes cost roughly twice the forward.
+func (w *worker) chargeLayerCompute(l nn.Layer, nSrc, nEdges int64, backward bool) {
+	dense, sparse := layerFLOPs(l, nSrc, nEdges)
+	if backward {
+		dense *= 2
+		sparse *= 2
+	}
+	w.chargeDense(dense)
+	w.chargeSparse(sparse)
+}
+
+// chargeUpperLayers charges the data-parallel layers above layer 1.
+func (e *Engine) chargeUpperLayers(w *worker, mb *sample.MiniBatch, backward bool) {
+	for l := 1; l < len(w.model.Layers); l++ {
+		blk := mb.Blocks[l]
+		w.chargeLayerCompute(w.model.Layers[l], int64(blk.NumSrc()), blk.NumEdges(), backward)
+	}
+}
+
+// wireInts returns the accounted bytes of shipping n int32 values.
+func wireInts(n int) int64 { return 4 * int64(n) }
+
+// wireFloats returns the accounted bytes of shipping rows x cols float32s.
+func wireFloats(rows, cols int) int64 { return 4 * int64(rows) * int64(cols) }
+
+// blockWireBytes is the accounted size of one bipartite block: dst IDs,
+// src IDs, edge pointers, and edge source indices.
+func blockWireBytes(b *sample.Block) int64 {
+	return wireInts(len(b.Dst)) + wireInts(len(b.Src)) +
+		8*int64(len(b.EdgePtr)) + wireInts(len(b.SrcIdx))
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// dnpRunner is destination node parallel (paper §3.1, the paper's
+// proposed strategy): every layer-1 destination node is shipped — with
+// its sampled adjacency — to the device managing its graph partition.
+// The manager loads the source features (its cache covers its partition
+// plus the 1-hop neighborhood), computes the full layer-1 embedding,
+// and ships only that embedding back: at most one hidden vector per
+// destination crosses the wire.
+type dnpRunner struct{}
+
+// dnpRequest is the Permute-stage encoding of the destinations one
+// device ships to one manager.
+type dnpRequest struct {
+	// DstIdx are requester-local destination positions (reply routing).
+	DstIdx []int32
+	// DstIDs are the global IDs of those destinations.
+	DstIDs []graph.NodeID
+	// EdgePtr/SrcIDs carry each destination's sampled in-neighbors.
+	EdgePtr []int64
+	SrcIDs  []graph.NodeID
+}
+
+func (q *dnpRequest) wireBytes() int64 {
+	return wireInts(len(q.DstIdx)) + wireInts(len(q.DstIDs)) +
+		8*int64(len(q.EdgePtr)) + wireInts(len(q.SrcIDs))
+}
+
+// dnpServed is the manager-side state for one requester's batch.
+type dnpServed struct {
+	blk *sample.Block
+	lct any
+}
+
+type dnpCtx struct {
+	myReqs []*dnpRequest
+	served []*dnpServed
+}
+
+// buildDNPRequests groups a block's destinations by managing device.
+func buildDNPRequests(blk *sample.Block, assign []int32, n int) []*dnpRequest {
+	reqs := make([]*dnpRequest, n)
+	for i, v := range blk.Dst {
+		o := assign[v]
+		q := reqs[o]
+		if q == nil {
+			q = &dnpRequest{EdgePtr: []int64{0}}
+			reqs[o] = q
+		}
+		q.DstIdx = append(q.DstIdx, int32(i))
+		q.DstIDs = append(q.DstIDs, v)
+		for _, si := range blk.DstSources(i) {
+			q.SrcIDs = append(q.SrcIDs, blk.Src[si])
+		}
+		q.EdgePtr = append(q.EdgePtr, int64(len(q.SrcIDs)))
+	}
+	return reqs
+}
+
+// buildMiniBlock converts a shipped adjacency into a bipartite block
+// with deduplicated sources. When includeDst is set the destinations
+// occupy the leading source positions (attention layers need their own
+// projections).
+func buildMiniBlock(dstIDs []graph.NodeID, edgePtr []int64, srcIDs []graph.NodeID, includeDst bool) *sample.Block {
+	b := &sample.Block{Dst: dstIDs, EdgePtr: edgePtr}
+	pos := make(map[graph.NodeID]int32, len(srcIDs))
+	add := func(u graph.NodeID) int32 {
+		if p, ok := pos[u]; ok {
+			return p
+		}
+		p := int32(len(b.Src))
+		b.Src = append(b.Src, u)
+		pos[u] = p
+		return p
+	}
+	if includeDst {
+		for _, v := range dstIDs {
+			add(v)
+		}
+	}
+	b.SrcIdx = make([]int32, len(srcIDs))
+	for i, u := range srcIDs {
+		b.SrcIdx[i] = add(u)
+	}
+	return b
+}
+
+func (r *dnpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, any) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	dPrime := w.layer0().OutDim()
+	includeDst := w.layer0().NeedsDstInSrc()
+
+	// Permute + Shuffle: ship destinations to their managers.
+	reqs := buildDNPRequests(blk, e.cfg.Assign, n)
+	payloads := make([]payload, n)
+	for o, q := range reqs {
+		if q == nil || o == me {
+			payloads[o] = payload{Data: q}
+			continue
+		}
+		b := q.wireBytes()
+		payloads[o] = payload{Data: q, Bytes: b}
+		w.stats.GraphA2ABytes += b
+		w.stats.VirtualNodes += int64(len(q.DstIdx))
+	}
+	in := w.allToAll(device.StageBuild, payloads)
+
+	// Execute: manage received destinations. Feature reads for all
+	// requesters are batched into one deduplicated load.
+	ctx := &dnpCtx{myReqs: reqs, served: make([]*dnpServed, n)}
+	srcLists := make([][]graph.NodeID, n)
+	for rq := 0; rq < n; rq++ {
+		q, _ := in[rq].Data.(*dnpRequest)
+		if q == nil || len(q.DstIdx) == 0 {
+			continue
+		}
+		mblk := buildMiniBlock(q.DstIDs, q.EdgePtr, q.SrcIDs, includeDst)
+		ctx.served[rq] = &dnpServed{blk: mblk}
+		srcLists[rq] = mblk.Src
+	}
+	xs := w.loadUnion(srcLists)
+	replies := make([]payload, n)
+	for rq := 0; rq < n; rq++ {
+		served := ctx.served[rq]
+		if served == nil {
+			continue
+		}
+		mblk := served.blk
+		w.chargeLayerCompute(w.layer0(), int64(mblk.NumSrc()), mblk.NumEdges(), false)
+		var reply payload
+		if w.real() {
+			out, lct := w.layer0().Forward(mblk, xs[rq])
+			served.lct = lct
+			reply.Mat = out
+		} else {
+			reply.Bytes = wireFloats(mblk.NumDst(), dPrime)
+		}
+		if rq != me {
+			w.stats.HiddenA2ABytes += wireFloats(mblk.NumDst(), dPrime)
+		}
+		replies[rq] = reply
+	}
+
+	// Reshuffle: embeddings travel back to the requesters.
+	back := w.allToAll(device.StageShuffle, replies)
+	if !w.real() {
+		return nil, ctx
+	}
+	h := tensor.New(blk.NumDst(), dPrime)
+	for o := 0; o < n; o++ {
+		q := reqs[o]
+		if q == nil {
+			continue
+		}
+		mat := back[o].Mat
+		for i, dst := range q.DstIdx {
+			copy(h.Row(int(dst)), mat.Row(i))
+		}
+	}
+	return h, ctx
+}
+
+func (r *dnpRunner) backward(w *worker, mb *sample.MiniBatch, ctxI any, dH *tensor.Matrix) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	ctx := ctxI.(*dnpCtx)
+	dPrime := w.layer0().OutDim()
+
+	// Ship each destination's output gradient to its manager.
+	payloads := make([]payload, n)
+	for o, q := range ctx.myReqs {
+		if q == nil {
+			continue
+		}
+		if w.real() {
+			g := tensor.New(len(q.DstIdx), dPrime)
+			for i, dst := range q.DstIdx {
+				copy(g.Row(i), dH.Row(int(dst)))
+			}
+			payloads[o] = payload{Mat: g}
+		} else {
+			payloads[o] = payload{Bytes: wireFloats(len(q.DstIdx), dPrime)}
+		}
+		if o != me {
+			w.stats.HiddenA2ABytes += wireFloats(len(q.DstIdx), dPrime)
+		}
+	}
+	in := w.allToAll(device.StageShuffle, payloads)
+
+	for rq := 0; rq < n; rq++ {
+		served := ctx.served[rq]
+		if served == nil {
+			continue
+		}
+		w.chargeLayerCompute(w.layer0(), int64(served.blk.NumSrc()), served.blk.NumEdges(), true)
+		if w.real() {
+			w.layer0().Backward(served.blk, served.lct, in[rq].Mat)
+		}
+	}
+}

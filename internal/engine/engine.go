@@ -1,0 +1,336 @@
+// Package engine implements APT's unified execution engine (paper
+// §4.2): a single worker harness that can be configured to run any of
+// the four parallelization strategies. Each simulated GPU is driven by
+// one goroutine; every mini-batch step decomposes into the paper's
+// Permute / Shuffle / Execute / Reshuffle stages, realized by the
+// per-strategy layer-1 runners in gdp.go, nfp.go, snp.go, and dnp.go.
+// Layers above the first always run data-parallel (paper §3.1: "All
+// strategies target the first layer").
+//
+// The engine has two modes sharing one code path:
+//
+//   - Real: floats move and models train; used for correctness tests,
+//     the semantic-equivalence sanity check (paper Fig. 6), and the
+//     examples.
+//   - Accounting: the same sampling, partitioning, caching, and
+//     dispatch logic runs and every payload is charged to the simulated
+//     clocks, but numeric kernels are skipped; used by the benchmark
+//     harness to reproduce the paper's epoch-time figures quickly.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+	"repro/internal/tensor"
+)
+
+// Mode selects real execution or volume accounting.
+type Mode int
+
+// Execution modes.
+const (
+	// Real moves floats and trains the model.
+	Real Mode = iota
+	// Accounting runs the full dispatch logic but skips numeric work.
+	Accounting
+)
+
+// Config assembles everything one engine run needs. The Store must
+// already be configured (caches + host placement) by the caller — APT's
+// Adapt step does that in package core.
+type Config struct {
+	Platform *hardware.Platform
+	Graph    *graph.Graph
+	// Store is the unified feature store (nil features => accounting).
+	Store *cache.Store
+	// NewModel constructs one model replica; the engine creates one
+	// per device and initializes all replicas identically from Seed.
+	NewModel func() *nn.Model
+	// NewOptimizer constructs one optimizer per device (real mode).
+	NewOptimizer func() nn.Optimizer
+	// Labels are node class labels (real mode).
+	Labels []int32
+	// Seeds are the training seed nodes.
+	Seeds []graph.NodeID
+	// Sampling configures neighbor sampling. IncludeDstInSrc is forced
+	// on when the model needs it.
+	Sampling sample.Config
+	// BatchSize is the per-device mini-batch size (paper: 1024).
+	BatchSize int
+	// Assign maps node -> owning device for SNP/DNP.
+	Assign []int32
+	// Kind selects the parallelization strategy.
+	Kind strategy.Kind
+	Mode Mode
+	Seed uint64
+	// ForceSeedPlan overrides per-strategy seed assignment with a fixed
+	// plan; the strategy-equivalence tests use it so every strategy
+	// trains on identical mini-batches.
+	ForceSeedPlan *sample.SeedPlan
+	// PreSampled supplies ready-made mini-batches indexed
+	// [device][step], bypassing the sampler (requires ForceSeedPlan
+	// describing the same batches). The planner's dry-run uses it to
+	// dispatch ONE epoch of samples under all four strategies, the
+	// paper's "the same graph samples are reused during dry-run"
+	// optimization. Sampling time is still charged once per batch.
+	PreSampled [][]*sample.MiniBatch
+	// RecordTimeline captures per-step stage times into
+	// EpochStats.Timeline (small overhead; off by default).
+	RecordTimeline bool
+}
+
+// Engine executes GNN training under one strategy.
+type Engine struct {
+	cfg      Config
+	Group    *device.Group
+	Comm     *comm.Comm
+	models   []*nn.Model
+	opts     []nn.Optimizer
+	samplers []*sample.Sampler
+	runner   layer1Runner
+	epochRNG *graph.RNG
+	workers  []*worker
+}
+
+// layer1Runner executes the strategy-specific first layer.
+type layer1Runner interface {
+	// forward returns the layer-1 output for the worker's own block
+	// (nil in accounting mode) plus a context for backward.
+	forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, any)
+	// backward consumes the gradient w.r.t. the worker's layer-1
+	// output (nil in accounting mode).
+	backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix)
+}
+
+// worker is the per-device execution state.
+type worker struct {
+	eng      *Engine
+	dev      *device.Device
+	model    *nn.Model
+	opt      nn.Optimizer
+	stats    *WorkerStats
+	timeline []StepTrace
+}
+
+func (w *worker) real() bool { return w.eng.cfg.Mode == Real }
+
+// New validates the configuration and assembles an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("engine: nil feature store")
+	}
+	if cfg.NewModel == nil {
+		return nil, fmt.Errorf("engine: nil model factory")
+	}
+	if cfg.Kind.NeedsPartition() {
+		if cfg.Assign == nil {
+			return nil, fmt.Errorf("engine: %v requires a graph partition", cfg.Kind)
+		}
+		if len(cfg.Assign) != cfg.Graph.NumNodes() {
+			return nil, fmt.Errorf("engine: partition covers %d nodes, graph has %d",
+				len(cfg.Assign), cfg.Graph.NumNodes())
+		}
+		n := int32(cfg.Platform.NumDevices())
+		for v, a := range cfg.Assign {
+			if a < 0 || a >= n {
+				return nil, fmt.Errorf("engine: node %d assigned to device %d of %d", v, a, n)
+			}
+		}
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("engine: batch size %d", cfg.BatchSize)
+	}
+	e := &Engine{cfg: cfg}
+	e.Group = device.NewGroup(cfg.Platform)
+	e.Comm = comm.New(e.Group)
+	n := cfg.Platform.NumDevices()
+
+	probe := cfg.NewModel()
+	if probe.NeedsDstInSrc() {
+		e.cfg.Sampling.IncludeDstInSrc = true
+	}
+	if cfg.Mode == Real && cfg.Labels == nil {
+		return nil, fmt.Errorf("engine: real mode requires labels")
+	}
+
+	for d := 0; d < n; d++ {
+		m := cfg.NewModel()
+		m.Init(graph.NewRNG(cfg.Seed)) // identical replicas
+		e.models = append(e.models, m)
+		if cfg.NewOptimizer != nil {
+			e.opts = append(e.opts, cfg.NewOptimizer())
+		} else {
+			e.opts = append(e.opts, nn.NewSGD(0.1, 0))
+		}
+		e.samplers = append(e.samplers, sample.NewSampler(
+			cfg.Graph, e.cfg.Sampling, graph.NewRNG(cfg.Seed^uint64(0x9e37+d*7919))))
+	}
+	e.epochRNG = graph.NewRNG(cfg.Seed ^ 0xabcdef)
+
+	switch cfg.Kind {
+	case strategy.GDP:
+		e.runner = &gdpRunner{}
+	case strategy.NFP:
+		e.runner = newNFPRunner(e)
+	case strategy.SNP:
+		e.runner = &snpRunner{}
+	case strategy.DNP:
+		e.runner = &dnpRunner{}
+	case strategy.Hybrid:
+		e.runner = newHybridRunner(e)
+	default:
+		return nil, fmt.Errorf("engine: unsupported strategy %v", cfg.Kind)
+	}
+	// Device memory: the configured feature cache occupies arena space
+	// for the whole run (after the runner may have narrowed LoadDim).
+	for d := 0; d < n; d++ {
+		cacheBytes := int64(len(cfg.Store.CachedList(d))) * int64(4*cfg.Store.LoadDim)
+		e.Group.Devices[d].Alloc(cacheBytes)
+	}
+	for d := 0; d < n; d++ {
+		e.workers = append(e.workers, &worker{
+			eng:   e,
+			dev:   e.Group.Devices[d],
+			model: e.models[d],
+			opt:   e.opts[d],
+			stats: &WorkerStats{},
+		})
+	}
+	return e, nil
+}
+
+// Model returns device dev's model replica (replicas stay identical
+// across devices after every step).
+func (e *Engine) Model(dev int) *nn.Model { return e.models[dev] }
+
+// layer0 returns a worker's first-layer instance.
+func (w *worker) layer0() nn.Layer { return w.model.Layers[0] }
+
+// seedPlan builds the epoch's per-device seed assignment: partition
+// owners for SNP/DNP (paper §3.2), an even shuffle otherwise.
+func (e *Engine) seedPlan() *sample.SeedPlan {
+	if e.cfg.ForceSeedPlan != nil {
+		return e.cfg.ForceSeedPlan
+	}
+	n := e.cfg.Platform.NumDevices()
+	if e.cfg.Kind.NeedsPartition() {
+		return sample.SplitByOwner(e.cfg.Seeds, e.cfg.Assign, n, e.epochRNG)
+	}
+	return sample.SplitEven(e.cfg.Seeds, n, e.epochRNG)
+}
+
+// RunEpoch executes one training epoch and returns its statistics.
+func (e *Engine) RunEpoch() EpochStats {
+	e.Group.ResetClocks()
+	for _, w := range e.workers {
+		*w.stats = WorkerStats{}
+	}
+	plan := e.seedPlan()
+	nb := plan.NumBatches(e.cfg.BatchSize)
+	comm.RunParallel(len(e.workers), func(dev int) {
+		e.workerEpoch(e.workers[dev], plan, nb)
+	})
+	return e.collectStats(nb)
+}
+
+// workerEpoch drives one device through all synchronized steps.
+func (e *Engine) workerEpoch(w *worker, plan *sample.SeedPlan, numBatches int) {
+	B := e.cfg.BatchSize
+	var snap stageSnapshot
+	if e.cfg.RecordTimeline {
+		w.timeline = w.timeline[:0]
+		snap = snapshotOf(w.dev)
+	}
+	for step := 0; step < numBatches; step++ {
+		seeds := plan.Batch(w.dev.ID, step, B)
+		global := 0
+		for d := range plan.PerWorker {
+			global += len(plan.Batch(d, step, B))
+		}
+		var mb *sample.MiniBatch
+		if e.cfg.PreSampled != nil {
+			mb = e.cfg.PreSampled[w.dev.ID][step]
+			seeds = mb.Seeds
+		} else {
+			mb = e.samplers[w.dev.ID].Sample(seeds)
+		}
+		var edges int64
+		for _, b := range mb.Blocks {
+			edges += b.NumEdges()
+		}
+		w.dev.Charge(device.StageSample, e.cfg.Platform.SampleTime(edges))
+		w.stats.SampledEdges += edges
+		w.stats.Layer1Dst += int64(mb.Layer1().NumDst())
+		w.stats.SeedsProcessed += int64(len(seeds))
+
+		h, ctx := e.runner.forward(w, mb)
+
+		if w.real() {
+			st := w.model.ForwardPartial(mb, 1, h)
+			e.chargeUpperLayers(w, mb, false)
+			labels := make([]int32, len(seeds))
+			for i, s := range seeds {
+				labels[i] = e.cfg.Labels[s]
+			}
+			loss, dLogits := nn.SoftmaxCrossEntropy(st.Logits, labels, maxInt(global, 1))
+			w.stats.LossSum += loss
+			dH := w.model.BackwardPartial(mb, st, 0, dLogits)
+			e.chargeUpperLayers(w, mb, true)
+			e.runner.backward(w, mb, ctx, dH)
+		} else {
+			e.chargeUpperLayers(w, mb, false)
+			e.chargeUpperLayers(w, mb, true)
+			e.runner.backward(w, mb, ctx, nil)
+		}
+
+		e.syncGradients(w)
+		if w.real() {
+			w.opt.Step(w.model.Params())
+			w.model.ZeroGrad()
+		}
+		if e.cfg.RecordTimeline {
+			snap = w.recordStep(step, snap)
+		}
+	}
+}
+
+// syncGradients allreduces the flattened parameter gradients — the
+// model synchronization every strategy performs (PyTorch DDP in the
+// paper). One collective per step, charged to the train stage.
+func (e *Engine) syncGradients(w *worker) {
+	total := w.model.NumParamElements()
+	if w.real() {
+		flat := tensor.New(1, total)
+		off := 0
+		for _, p := range w.model.Params() {
+			copy(flat.Data[off:], p.G.Data)
+			off += len(p.G.Data)
+		}
+		sum := e.Comm.AllReduce(w.dev.ID, device.StageTrain, flat, 0)
+		off = 0
+		for _, p := range w.model.Params() {
+			copy(p.G.Data, sum.Data[off:off+len(p.G.Data)])
+			off += len(p.G.Data)
+		}
+	} else {
+		e.Comm.AllReduce(w.dev.ID, device.StageTrain, nil, int64(total)*4)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// gdpRunner is graph data parallel (paper §3.1): each device processes
+// its own seeds end to end. The first layer runs exactly like any
+// other layer; the only cross-device traffic is the feature loads that
+// miss the cache (charged by the store) and the model-gradient
+// allreduce shared by every strategy.
+type gdpRunner struct{}
+
+type gdpCtx struct {
+	x   *tensor.Matrix
+	lct interface{}
+}
+
+func (r *gdpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, any) {
+	blk := mb.Layer1()
+	x, st := w.eng.cfg.Store.Load(w.dev, blk.Src)
+	w.stats.Load.Add(st)
+	w.chargeLayerCompute(w.layer0(), int64(blk.NumSrc()), blk.NumEdges(), false)
+	if !w.real() {
+		return nil, &gdpCtx{}
+	}
+	out, lct := w.layer0().Forward(blk, x)
+	return out, &gdpCtx{x: x, lct: lct}
+}
+
+func (r *gdpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
+	blk := mb.Layer1()
+	w.chargeLayerCompute(w.layer0(), int64(blk.NumSrc()), blk.NumEdges(), true)
+	if !w.real() {
+		return
+	}
+	c := ctx.(*gdpCtx)
+	w.layer0().Backward(blk, c.lct, dH)
+}

@@ -1,0 +1,23 @@
+package engine
+
+import "repro/internal/graph"
+
+// newHybridRunner builds the paper's §5.2 conjecture as an extension:
+// GDP is used across machines (no hidden embeddings cross the slow
+// network) while SNP runs among the GPUs of each machine (to exploit
+// their feature caches). Mechanically this is SNP with a modified
+// owner rule: a source whose partition owner sits on another machine
+// is treated as locally owned, so its feature is loaded by the
+// requester exactly as under GDP.
+func newHybridRunner(e *Engine) layer1Runner {
+	p := e.cfg.Platform
+	return &snpRunner{
+		ownerOf: func(w *worker, u graph.NodeID) int32 {
+			o := e.cfg.Assign[u]
+			if p.SameMachine(int(o), w.dev.ID) {
+				return o
+			}
+			return int32(w.dev.ID)
+		},
+	}
+}

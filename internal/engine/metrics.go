@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+)
+
+// WorkerStats accumulates per-device counters over one epoch. The
+// planner's cost models consume the volume counters; the figures
+// consume the stage times.
+type WorkerStats struct {
+	// Load aggregates feature-read statistics by location.
+	Load cache.LoadStats
+	// GraphA2ABytes / GraphBcastBytes count sampled-subgraph shipping
+	// (T_build's communication part) by collective operator: SNP/DNP
+	// use all-to-all, NFP broadcasts.
+	GraphA2ABytes   int64
+	GraphBcastBytes int64
+	// HiddenA2ABytes / HiddenBcastBytes count hidden-embedding and
+	// gradient shipping (T_shuffle) by operator.
+	HiddenA2ABytes   int64
+	HiddenBcastBytes int64
+	// Collective call counts per stage; the cost model charges each
+	// call's fixed latency (significant at scaled-down payload sizes).
+	BuildA2ACalls   int64
+	BuildBcastCalls int64
+	ShufA2ACalls    int64
+	ShufBcastCalls  int64
+	// VirtualNodes counts remote virtual nodes created by this worker
+	// (SNP: N_vs contributions; DNP: N_vd contributions).
+	VirtualNodes int64
+	// Layer1Dst counts layer-1 destination nodes processed (N_d).
+	Layer1Dst int64
+	// SampledEdges counts edges drawn by graph sampling.
+	SampledEdges int64
+	// SeedsProcessed counts seeds this worker trained on.
+	SeedsProcessed int64
+	// LossSum accumulates the worker's (globally scaled) loss
+	// contributions; summing across workers gives mean batch loss.
+	LossSum float64
+}
+
+// GraphShuffleBytes is the total subgraph-shipping volume.
+func (s WorkerStats) GraphShuffleBytes() int64 { return s.GraphA2ABytes + s.GraphBcastBytes }
+
+// HiddenShuffleBytes is the total hidden-embedding volume.
+func (s WorkerStats) HiddenShuffleBytes() int64 { return s.HiddenA2ABytes + s.HiddenBcastBytes }
+
+func (s *WorkerStats) add(o *WorkerStats) {
+	s.Load.Add(o.Load)
+	s.GraphA2ABytes += o.GraphA2ABytes
+	s.GraphBcastBytes += o.GraphBcastBytes
+	s.HiddenA2ABytes += o.HiddenA2ABytes
+	s.HiddenBcastBytes += o.HiddenBcastBytes
+	s.BuildA2ACalls += o.BuildA2ACalls
+	s.BuildBcastCalls += o.BuildBcastCalls
+	s.ShufA2ACalls += o.ShufA2ACalls
+	s.ShufBcastCalls += o.ShufBcastCalls
+	s.VirtualNodes += o.VirtualNodes
+	s.Layer1Dst += o.Layer1Dst
+	s.SampledEdges += o.SampledEdges
+	s.SeedsProcessed += o.SeedsProcessed
+	s.LossSum += o.LossSum
+}
+
+// EpochStats is one epoch's outcome: the paper's time decomposition
+// (stage time = max across devices, synchronous steps) plus the volume
+// totals the cost models need.
+type EpochStats struct {
+	// SampleSec is graph-sampling time.
+	SampleSec float64
+	// BuildSec is computation-graph shuffle time (with SampleSec it
+	// forms the figures' "sampling" bar and the cost model's T_build).
+	BuildSec float64
+	// LoadSec is feature-loading time (T_load).
+	LoadSec float64
+	// TrainSec is model-computation time (T_train).
+	TrainSec float64
+	// ShuffleSec is hidden-embedding shuffle time (T_shuffle; the
+	// figures fold it into the training bar).
+	ShuffleSec float64
+
+	// Totals aggregates the per-worker counters; PerDevice keeps each
+	// device's own counters (the cost model uses per-device maxima to
+	// capture load imbalance under synchronous stages).
+	Totals    WorkerStats
+	PerDevice []WorkerStats
+	// NumBatches is the synchronized step count.
+	NumBatches int
+	// MeanLoss is the average global mini-batch loss (real mode).
+	MeanLoss float64
+	// OOM reports whether any device overflowed its memory.
+	OOM bool
+	// Timeline holds per-step stage maxima when Config.RecordTimeline
+	// is set.
+	Timeline []StepTrace
+}
+
+// EpochTime is the total epoch time under synchronous stages.
+func (s EpochStats) EpochTime() float64 {
+	return s.SampleSec + s.BuildSec + s.LoadSec + s.TrainSec + s.ShuffleSec
+}
+
+// SamplingBar and TrainBar group stages the way the paper's stacked
+// figures do: subgraph shuffling counts as sampling, hidden shuffling
+// as training.
+func (s EpochStats) SamplingBar() float64 { return s.SampleSec + s.BuildSec }
+
+// TrainBar groups training compute with hidden-embedding shuffling.
+func (s EpochStats) TrainBar() float64 { return s.TrainSec + s.ShuffleSec }
+
+// PipelinedTime estimates the epoch under pipelined execution
+// (GNNLab/DSP-style): sampling, feature loading, and training of
+// consecutive mini-batches overlap, so the epoch is gated by the
+// slowest of the three pipelines rather than their sum. The engine
+// itself executes synchronously (like the paper's); this estimate
+// bounds what overlap could recover.
+func (s EpochStats) PipelinedTime() float64 {
+	stages := [3]float64{s.SamplingBar(), s.LoadSec, s.TrainBar()}
+	mx := stages[0]
+	for _, v := range stages[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// String renders a one-line summary.
+func (s EpochStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %.3fs (sample %.3f build %.3f load %.3f train %.3f shuffle %.3f)",
+		s.EpochTime(), s.SampleSec, s.BuildSec, s.LoadSec, s.TrainSec, s.ShuffleSec)
+	if s.OOM {
+		b.WriteString(" [OOM]")
+	}
+	return b.String()
+}
+
+// collectStats folds worker counters and device clocks into EpochStats.
+func (e *Engine) collectStats(numBatches int) EpochStats {
+	var st EpochStats
+	st.NumBatches = numBatches
+	for _, w := range e.workers {
+		st.Totals.add(w.stats)
+		st.PerDevice = append(st.PerDevice, *w.stats)
+	}
+	mx := e.Group.StageMax(device.StageSample, device.StageBuild,
+		device.StageLoad, device.StageTrain, device.StageShuffle)
+	st.SampleSec = mx[device.StageSample]
+	st.BuildSec = mx[device.StageBuild]
+	st.LoadSec = mx[device.StageLoad]
+	st.TrainSec = mx[device.StageTrain]
+	st.ShuffleSec = mx[device.StageShuffle]
+	if numBatches > 0 {
+		st.MeanLoss = st.Totals.LossSum / float64(numBatches)
+	}
+	st.OOM = e.Group.AnyOOM()
+	if e.cfg.RecordTimeline {
+		st.Timeline = e.mergeTimelines(numBatches)
+	}
+	return st
+}

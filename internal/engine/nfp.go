@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// nfpRunner is node feature parallel (paper §3.1, the P3 strategy):
+// input features and the layer-1 model are partitioned by dimension —
+// device c holds columns [lo_c, hi_c) of every node's feature and the
+// matching rows of W¹. Every device broadcasts its layer-1 computation
+// graph (AllBroadcast), computes partial projections and partial
+// aggregates for ALL destinations from its feature shard, then a
+// sparse allreduce (realized as an all-to-all to each destination's
+// owner) assembles the full embeddings. The backward pass broadcasts
+// the destination-embedding gradients so every device can produce its
+// shard of the weight gradient.
+type nfpRunner struct {
+	lo, hi []int // per-device feature shard bounds
+}
+
+func newNFPRunner(e *Engine) *nfpRunner {
+	n := e.cfg.Platform.NumDevices()
+	d := e.models[0].Layers[0].InDim()
+	r := &nfpRunner{lo: make([]int, n), hi: make([]int, n)}
+	maxW := 0
+	for c := 0; c < n; c++ {
+		r.lo[c] = c * d / n
+		r.hi[c] = (c + 1) * d / n
+		if w := r.hi[c] - r.lo[c]; w > maxW {
+			maxW = w
+		}
+	}
+	// Per-node read volume under NFP is one shard, not the full row.
+	e.cfg.Store.LoadDim = maxW
+	return r
+}
+
+// shardOf returns the row-slice view [lo, hi) of a parameter matrix
+// (rows are input dimensions, stored contiguously).
+func shardOf(m *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	return tensor.FromData(hi-lo, m.Cols, m.Data[lo*m.Cols:hi*m.Cols])
+}
+
+type nfpSageCtx struct {
+	blocks []*sample.Block
+	xs     []*tensor.Matrix
+	out    *tensor.Matrix
+	alloc  int64
+}
+
+type nfpGatCtx struct {
+	blocks []*sample.Block
+	xs     []*tensor.Matrix
+	attn   *nn.GATAttnCtx
+	alloc  int64
+}
+
+func (r *nfpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, any) {
+	switch l := w.layer0().(type) {
+	case *nn.SAGELayer:
+		return r.forwardSage(w, mb, l)
+	case *nn.GATLayer:
+		return r.forwardGat(w, mb, l)
+	default:
+		panic(fmt.Sprintf("engine: NFP does not support layer %T", l))
+	}
+}
+
+func (r *nfpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
+	switch l := w.layer0().(type) {
+	case *nn.SAGELayer:
+		r.backwardSage(w, mb, ctx.(*nfpSageCtx), l, dH)
+	case *nn.GATLayer:
+		r.backwardGat(w, mb, ctx.(*nfpGatCtx), l, dH)
+	}
+}
+
+// gatherBlocks broadcasts every worker's layer-1 block (the NFP
+// Shuffle stage) and returns them indexed by owner.
+func (r *nfpRunner) gatherBlocks(w *worker, blk *sample.Block) []*sample.Block {
+	n := w.eng.Comm.NumDevices()
+	wire := blockWireBytes(blk)
+	w.stats.GraphBcastBytes += wire * int64(n-1)
+	in := w.allGather(device.StageBuild, payload{Data: blk, Bytes: wire})
+	blocks := make([]*sample.Block, n)
+	for j := range in {
+		blocks[j] = in[j].Data.(*sample.Block)
+	}
+	return blocks
+}
+
+func (r *nfpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGELayer) (*tensor.Matrix, any) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	dPrime := layer.OutDim()
+	lo, hi := r.lo[me], r.hi[me]
+
+	blocks := r.gatherBlocks(w, blk)
+	ctx := &nfpSageCtx{blocks: blocks}
+
+	// Execute: partial projection + partial aggregation for every
+	// device's destinations from the local feature shard, with one
+	// deduplicated shard read across all broadcast blocks.
+	srcLists := make([][]graph.NodeID, n)
+	for j := 0; j < n; j++ {
+		srcLists[j] = blocks[j].Src
+	}
+	ctx.xs = w.loadUnionDims(srcLists, lo, hi)
+	partials := make([]payload, n)
+	for j := 0; j < n; j++ {
+		bj := blocks[j]
+		x := ctx.xs[j]
+		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(dPrime))
+		w.chargeSparse(2 * float64(bj.NumEdges()) * float64(dPrime))
+		// The per-destination partials for every device's graph are the
+		// intermediate whose footprint makes NFP overflow GPU memory at
+		// large hidden dimensions (paper Fig. 10).
+		ctx.alloc += wireFloats(bj.NumDst(), dPrime)
+		if w.real() {
+			z := tensor.MatMul(x, shardOf(layer.W.W, lo, hi))
+			partials[j] = payload{Mat: tensor.SegmentSum(bj.EdgePtr, bj.SrcIdx, z)}
+		} else {
+			partials[j] = payload{Bytes: wireFloats(bj.NumDst(), dPrime)}
+		}
+		if j != me {
+			w.stats.HiddenA2ABytes += wireFloats(bj.NumDst(), dPrime)
+		}
+	}
+	w.dev.Alloc(ctx.alloc)
+
+	// Reshuffle (sparse allreduce): every destination's partials land
+	// on its owner and are summed there.
+	back := w.allToAll(device.StageShuffle, partials)
+	if !w.real() {
+		return nil, ctx
+	}
+	s := tensor.New(blk.NumDst(), dPrime)
+	for j := 0; j < n; j++ {
+		s.AddInPlace(back[j].Mat)
+	}
+	layer.NormalizeAggregate(blk, s)
+	out := layer.ApplyActivationOnly(s)
+	ctx.out = out
+	return out, ctx
+}
+
+func (r *nfpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *nfpSageCtx, layer *nn.SAGELayer, dH *tensor.Matrix) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	dPrime := layer.OutDim()
+	lo, hi := r.lo[me], r.hi[me]
+	defer w.dev.Free(ctx.alloc)
+
+	var dS *tensor.Matrix
+	if w.real() {
+		dS = layer.ActivationBackwardOnly(ctx.out, dH)
+		layer.NormalizeAggregate(blk, dS)
+	}
+	// Broadcast destination gradients; every device derives its weight
+	// shard's gradient from them.
+	wire := wireFloats(blk.NumDst(), dPrime)
+	w.stats.HiddenBcastBytes += wire * int64(n-1)
+	in := w.allGather(device.StageShuffle, payload{Mat: dS, Bytes: boolToBytes(dS == nil, wire)})
+
+	gShard := shardOf(layer.W.G, lo, hi)
+	for j := 0; j < n; j++ {
+		bj := ctx.blocks[j]
+		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(dPrime))
+		w.chargeSparse(2 * float64(bj.NumEdges()) * float64(dPrime))
+		if w.real() {
+			dZ := tensor.SegmentSumBackward(bj.EdgePtr, bj.SrcIdx, in[j].Mat, bj.NumSrc())
+			gShard.AddInPlace(tensor.TMatMul(ctx.xs[j], dZ))
+		}
+	}
+}
+
+func (r *nfpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLayer) (*tensor.Matrix, any) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	heads, dh := layer.Heads, layer.OutPerHead()
+	width := heads * dh
+	lo, hi := r.lo[me], r.hi[me]
+
+	blocks := r.gatherBlocks(w, blk)
+	ctx := &nfpGatCtx{blocks: blocks}
+
+	// Execute: partial per-head projections for every device's sources;
+	// attention itself cannot be computed from a feature shard (paper
+	// §3.3), so full projections must be assembled at the owner first —
+	// NFP's extra attention communication, paid per source node.
+	srcLists := make([][]graph.NodeID, n)
+	for j := 0; j < n; j++ {
+		srcLists[j] = blocks[j].Src
+	}
+	ctx.xs = w.loadUnionDims(srcLists, lo, hi)
+	partials := make([]payload, n)
+	for j := 0; j < n; j++ {
+		bj := blocks[j]
+		x := ctx.xs[j]
+		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(width))
+		ctx.alloc += wireFloats(bj.NumSrc(), width)
+		if w.real() {
+			z := tensor.New(bj.NumSrc(), width)
+			for k := 0; k < heads; k++ {
+				zk := tensor.MatMul(x, shardOf(layer.Ws[k].W, lo, hi))
+				for i := 0; i < zk.Rows; i++ {
+					copy(z.Row(i)[k*dh:(k+1)*dh], zk.Row(i))
+				}
+			}
+			partials[j] = payload{Mat: z}
+		} else {
+			partials[j] = payload{Bytes: wireFloats(bj.NumSrc(), width)}
+		}
+		if j != me {
+			w.stats.HiddenA2ABytes += wireFloats(bj.NumSrc(), width)
+		}
+	}
+	w.dev.Alloc(ctx.alloc)
+
+	back := w.allToAll(device.StageShuffle, partials)
+	w.chargeSparse(6 * float64(blk.NumEdges()) * float64(dh) * float64(heads))
+	if !w.real() {
+		return nil, ctx
+	}
+	zfull := tensor.New(blk.NumSrc(), width)
+	for j := 0; j < n; j++ {
+		zfull.AddInPlace(back[j].Mat)
+	}
+	zs := make([]*tensor.Matrix, heads)
+	for k := 0; k < heads; k++ {
+		zs[k] = tensor.New(blk.NumSrc(), dh)
+		for i := 0; i < blk.NumSrc(); i++ {
+			copy(zs[k].Row(i), zfull.Row(i)[k*dh:(k+1)*dh])
+		}
+	}
+	out, attn := layer.AttentionForward(blk, zs)
+	ctx.attn = attn
+	return out, ctx
+}
+
+func (r *nfpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *nfpGatCtx, layer *nn.GATLayer, dH *tensor.Matrix) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	heads, dh := layer.Heads, layer.OutPerHead()
+	width := heads * dh
+	lo, hi := r.lo[me], r.hi[me]
+	defer w.dev.Free(ctx.alloc)
+
+	w.chargeSparse(12 * float64(blk.NumEdges()) * float64(dh) * float64(heads))
+	var dZ *tensor.Matrix
+	if w.real() {
+		dZs := layer.AttentionBackward(blk, ctx.attn, dH)
+		dZ = tensor.New(blk.NumSrc(), width)
+		for k := 0; k < heads; k++ {
+			for i := 0; i < blk.NumSrc(); i++ {
+				copy(dZ.Row(i)[k*dh:(k+1)*dh], dZs[k].Row(i))
+			}
+		}
+	}
+	wire := wireFloats(blk.NumSrc(), width)
+	w.stats.HiddenBcastBytes += wire * int64(n-1)
+	in := w.allGather(device.StageShuffle, payload{Mat: dZ, Bytes: boolToBytes(dZ == nil, wire)})
+
+	for j := 0; j < n; j++ {
+		bj := ctx.blocks[j]
+		w.chargeDense(4 * float64(bj.NumSrc()) * float64(hi-lo) * float64(width))
+		if w.real() {
+			mat := in[j].Mat
+			for k := 0; k < heads; k++ {
+				dZk := tensor.New(mat.Rows, dh)
+				for i := 0; i < mat.Rows; i++ {
+					copy(dZk.Row(i), mat.Row(i)[k*dh:(k+1)*dh])
+				}
+				gk := shardOf(layer.Ws[k].G, lo, hi)
+				gk.AddInPlace(tensor.TMatMul(ctx.xs[j], dZk))
+			}
+		}
+	}
+}
+
+// boolToBytes returns wire when accounting (mat missing), 0 otherwise —
+// matrices self-account through Payload.SizeBytes.
+func boolToBytes(missing bool, wire int64) int64 {
+	if missing {
+		return wire
+	}
+	return 0
+}

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// snpRunner is source node parallel (paper §3.1): the graph is
+// edge-cut partitioned and each device manages the source nodes of its
+// partition. A destination node whose sources live on a remote device
+// creates a virtual node there; the remote device projects and
+// partially aggregates its local sources' contributions and ships one
+// partial embedding per virtual node back (mean aggregation decomposes
+// into shipped partial sums plus a final division by the true degree).
+//
+// Attention models cannot aggregate partially (§3.3): for GAT the
+// source owners ship the projected source embeddings themselves, one
+// vector per unique remote source — SNP's "extra communication".
+type snpRunner struct {
+	// ownerOf overrides the source-owner rule; nil means the graph
+	// partition assignment. The hybrid strategy substitutes a rule
+	// that keeps cross-machine sources local (GDP across machines, SNP
+	// within a machine).
+	ownerOf func(w *worker, u graph.NodeID) int32
+}
+
+// owner resolves which device manages source node u from worker w's
+// perspective.
+func (r *snpRunner) owner(w *worker, u graph.NodeID) int32 {
+	if r.ownerOf != nil {
+		return r.ownerOf(w, u)
+	}
+	return w.eng.cfg.Assign[u]
+}
+
+// snpRequest carries one device's virtual nodes for one source owner.
+type snpRequest struct {
+	// DstIdx are requester-local destination positions (virtual nodes).
+	DstIdx []int32
+	// DstIDs are their global IDs.
+	DstIDs []graph.NodeID
+	// EdgePtr/SrcIDs list each virtual node's sources owned by the
+	// target device.
+	EdgePtr []int64
+	SrcIDs  []graph.NodeID
+}
+
+func (q *snpRequest) wireBytes() int64 {
+	return wireInts(len(q.DstIdx)) + wireInts(len(q.DstIDs)) +
+		8*int64(len(q.EdgePtr)) + wireInts(len(q.SrcIDs))
+}
+
+// snpGatRequest carries the unique sources a requester needs projected
+// by one owner (attention path).
+type snpGatRequest struct {
+	SrcIDs []graph.NodeID
+}
+
+type snpServedSage struct {
+	blk *sample.Block
+	x   *tensor.Matrix
+}
+
+type snpSageCtx struct {
+	myReqs []*snpRequest
+	served []*snpServedSage
+	out    *tensor.Matrix // post-activation layer output
+}
+
+type snpServedGat struct {
+	srcIDs []graph.NodeID
+	x      *tensor.Matrix
+}
+
+type snpGatCtx struct {
+	localPos [][]int32 // per owner: positions in blk.Src
+	served   []*snpServedGat
+	attn     *nn.GATAttnCtx
+}
+
+func (r *snpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, any) {
+	switch l := w.layer0().(type) {
+	case *nn.SAGELayer:
+		return r.forwardSage(w, mb, l)
+	case *nn.GATLayer:
+		return r.forwardGat(w, mb, l)
+	default:
+		panic(fmt.Sprintf("engine: SNP does not support layer %T", l))
+	}
+}
+
+func (r *snpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
+	switch l := w.layer0().(type) {
+	case *nn.SAGELayer:
+		r.backwardSage(w, mb, ctx.(*snpSageCtx), l, dH)
+	case *nn.GATLayer:
+		r.backwardGat(w, mb, ctx.(*snpGatCtx), l, dH)
+	}
+}
+
+// buildSNPRequests splits a block's edges by source owner.
+func buildSNPRequests(blk *sample.Block, owner func(graph.NodeID) int32, n int) []*snpRequest {
+	reqs := make([]*snpRequest, n)
+	// Scratch: per-owner source list for the current destination.
+	perOwner := make([][]graph.NodeID, n)
+	for i, dstID := range blk.Dst {
+		var touchedOwners []int32
+		for _, si := range blk.DstSources(i) {
+			u := blk.Src[si]
+			o := owner(u)
+			if len(perOwner[o]) == 0 {
+				touchedOwners = append(touchedOwners, o)
+			}
+			perOwner[o] = append(perOwner[o], u)
+		}
+		for _, o := range touchedOwners {
+			q := reqs[o]
+			if q == nil {
+				q = &snpRequest{EdgePtr: []int64{0}}
+				reqs[o] = q
+			}
+			q.DstIdx = append(q.DstIdx, int32(i))
+			q.DstIDs = append(q.DstIDs, dstID)
+			q.SrcIDs = append(q.SrcIDs, perOwner[o]...)
+			q.EdgePtr = append(q.EdgePtr, int64(len(q.SrcIDs)))
+			perOwner[o] = perOwner[o][:0]
+		}
+	}
+	return reqs
+}
+
+func (r *snpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGELayer) (*tensor.Matrix, any) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	dPrime := layer.OutDim()
+
+	reqs := buildSNPRequests(blk, func(u graph.NodeID) int32 { return r.owner(w, u) }, n)
+	payloads := make([]payload, n)
+	for o, q := range reqs {
+		if q == nil {
+			continue
+		}
+		payloads[o] = payload{Data: q}
+		if o != me {
+			b := q.wireBytes()
+			payloads[o].Bytes = b
+			w.stats.GraphA2ABytes += b
+			w.stats.VirtualNodes += int64(len(q.DstIdx))
+		}
+	}
+	in := w.allToAll(device.StageBuild, payloads)
+
+	// Execute: project + partially aggregate local sources. Feature
+	// reads for all requesters share one deduplicated load.
+	ctx := &snpSageCtx{myReqs: reqs, served: make([]*snpServedSage, n)}
+	srcLists := make([][]graph.NodeID, n)
+	for rq := 0; rq < n; rq++ {
+		q, _ := in[rq].Data.(*snpRequest)
+		if q == nil || len(q.DstIdx) == 0 {
+			continue
+		}
+		mblk := buildMiniBlock(q.DstIDs, q.EdgePtr, q.SrcIDs, false)
+		ctx.served[rq] = &snpServedSage{blk: mblk}
+		srcLists[rq] = mblk.Src
+	}
+	xs := w.loadUnion(srcLists)
+	replies := make([]payload, n)
+	for rq := 0; rq < n; rq++ {
+		served := ctx.served[rq]
+		if served == nil {
+			continue
+		}
+		mblk := served.blk
+		served.x = xs[rq]
+		w.chargeLayerCompute(layer, int64(mblk.NumSrc()), mblk.NumEdges(), false)
+		var reply payload
+		if w.real() {
+			z := layer.Project(served.x)
+			reply.Mat = tensor.SegmentSum(mblk.EdgePtr, mblk.SrcIdx, z)
+		} else {
+			reply.Bytes = wireFloats(mblk.NumDst(), dPrime)
+		}
+		if rq != me {
+			w.stats.HiddenA2ABytes += wireFloats(mblk.NumDst(), dPrime)
+		}
+		replies[rq] = reply
+	}
+
+	// Reshuffle (GroupReduce): sum the partials per destination, then
+	// normalize by the full degree and activate.
+	back := w.allToAll(device.StageShuffle, replies)
+	if !w.real() {
+		return nil, ctx
+	}
+	s := tensor.New(blk.NumDst(), dPrime)
+	for o := 0; o < n; o++ {
+		q := reqs[o]
+		if q == nil {
+			continue
+		}
+		mat := back[o].Mat
+		for i, dst := range q.DstIdx {
+			row := s.Row(int(dst))
+			part := mat.Row(i)
+			for j := range row {
+				row[j] += part[j]
+			}
+		}
+	}
+	layer.NormalizeAggregate(blk, s)
+	out := layer.ApplyActivationOnly(s)
+	ctx.out = out
+	return out, ctx
+}
+
+func (r *snpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *snpSageCtx, layer *nn.SAGELayer, dH *tensor.Matrix) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	dPrime := layer.OutDim()
+
+	var dS *tensor.Matrix
+	if w.real() {
+		dS = layer.ActivationBackwardOnly(ctx.out, dH)
+		layer.NormalizeAggregate(blk, dS)
+	}
+
+	payloads := make([]payload, n)
+	for o, q := range ctx.myReqs {
+		if q == nil {
+			continue
+		}
+		if w.real() {
+			g := tensor.New(len(q.DstIdx), dPrime)
+			for i, dst := range q.DstIdx {
+				copy(g.Row(i), dS.Row(int(dst)))
+			}
+			payloads[o] = payload{Mat: g}
+		} else {
+			payloads[o] = payload{Bytes: wireFloats(len(q.DstIdx), dPrime)}
+		}
+		if o != me {
+			w.stats.HiddenA2ABytes += wireFloats(len(q.DstIdx), dPrime)
+		}
+	}
+	in := w.allToAll(device.StageShuffle, payloads)
+
+	for rq := 0; rq < n; rq++ {
+		served := ctx.served[rq]
+		if served == nil {
+			continue
+		}
+		w.chargeLayerCompute(layer, int64(served.blk.NumSrc()), served.blk.NumEdges(), true)
+		if w.real() {
+			dZ := tensor.SegmentSumBackward(served.blk.EdgePtr, served.blk.SrcIdx, in[rq].Mat, served.blk.NumSrc())
+			layer.ProjectBackward(served.x, dZ)
+		}
+	}
+}
+
+// forwardGat implements SNP's attention path: owners project their
+// sources and ship the projections (per unique remote source) to the
+// requester, which runs attention with a complete source view.
+func (r *snpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLayer) (*tensor.Matrix, any) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	heads, dh := layer.Heads, layer.OutPerHead()
+	width := heads * dh
+
+	// Permute: unique sources per owner, in block order.
+	localPos := make([][]int32, n)
+	srcIDs := make([][]graph.NodeID, n)
+	for pos, u := range blk.Src {
+		o := r.owner(w, u)
+		localPos[o] = append(localPos[o], int32(pos))
+		srcIDs[o] = append(srcIDs[o], u)
+	}
+	payloads := make([]payload, n)
+	for o := 0; o < n; o++ {
+		if len(srcIDs[o]) == 0 {
+			continue
+		}
+		payloads[o] = payload{Data: &snpGatRequest{SrcIDs: srcIDs[o]}}
+		if o != me {
+			b := wireInts(len(srcIDs[o]))
+			payloads[o].Bytes = b
+			w.stats.GraphA2ABytes += b
+			w.stats.VirtualNodes += int64(len(srcIDs[o]))
+		}
+	}
+	in := w.allToAll(device.StageBuild, payloads)
+
+	// Execute: project requested sources per head, with one
+	// deduplicated feature load for all requesters.
+	ctx := &snpGatCtx{localPos: localPos, served: make([]*snpServedGat, n)}
+	srcLists := make([][]graph.NodeID, n)
+	for rq := 0; rq < n; rq++ {
+		q, _ := in[rq].Data.(*snpGatRequest)
+		if q == nil || len(q.SrcIDs) == 0 {
+			continue
+		}
+		ctx.served[rq] = &snpServedGat{srcIDs: q.SrcIDs}
+		srcLists[rq] = q.SrcIDs
+	}
+	xs := w.loadUnion(srcLists)
+	replies := make([]payload, n)
+	for rq := 0; rq < n; rq++ {
+		served := ctx.served[rq]
+		if served == nil {
+			continue
+		}
+		q := &snpGatRequest{SrcIDs: served.srcIDs}
+		served.x = xs[rq]
+		x := served.x
+		w.chargeDense(2 * float64(len(q.SrcIDs)) * float64(layer.InDim()) * float64(width))
+		var reply payload
+		if w.real() {
+			z := tensor.New(len(q.SrcIDs), width)
+			for k := 0; k < heads; k++ {
+				zk := layer.ProjectHead(k, x)
+				for i := 0; i < zk.Rows; i++ {
+					copy(z.Row(i)[k*dh:(k+1)*dh], zk.Row(i))
+				}
+			}
+			reply.Mat = z
+		} else {
+			reply.Bytes = wireFloats(len(q.SrcIDs), width)
+		}
+		if rq != me {
+			w.stats.HiddenA2ABytes += wireFloats(len(q.SrcIDs), width)
+		}
+		replies[rq] = reply
+	}
+
+	// Reshuffle: assemble the full per-head projections and attend.
+	back := w.allToAll(device.StageShuffle, replies)
+	w.chargeSparse(6 * float64(blk.NumEdges()) * float64(dh) * float64(heads))
+	if !w.real() {
+		return nil, ctx
+	}
+	zs := make([]*tensor.Matrix, heads)
+	for k := range zs {
+		zs[k] = tensor.New(blk.NumSrc(), dh)
+	}
+	for o := 0; o < n; o++ {
+		if len(localPos[o]) == 0 {
+			continue
+		}
+		mat := back[o].Mat
+		for i, pos := range localPos[o] {
+			row := mat.Row(i)
+			for k := 0; k < heads; k++ {
+				copy(zs[k].Row(int(pos)), row[k*dh:(k+1)*dh])
+			}
+		}
+	}
+	out, attn := layer.AttentionForward(blk, zs)
+	ctx.attn = attn
+	return out, ctx
+}
+
+func (r *snpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *snpGatCtx, layer *nn.GATLayer, dH *tensor.Matrix) {
+	e := w.eng
+	n := e.Comm.NumDevices()
+	me := w.dev.ID
+	blk := mb.Layer1()
+	heads, dh := layer.Heads, layer.OutPerHead()
+	width := heads * dh
+
+	w.chargeSparse(12 * float64(blk.NumEdges()) * float64(dh) * float64(heads))
+	var dZs []*tensor.Matrix
+	if w.real() {
+		dZs = layer.AttentionBackward(blk, ctx.attn, dH)
+	}
+
+	payloads := make([]payload, n)
+	for o := 0; o < n; o++ {
+		if len(ctx.localPos[o]) == 0 {
+			continue
+		}
+		if w.real() {
+			g := tensor.New(len(ctx.localPos[o]), width)
+			for i, pos := range ctx.localPos[o] {
+				row := g.Row(i)
+				for k := 0; k < heads; k++ {
+					copy(row[k*dh:(k+1)*dh], dZs[k].Row(int(pos)))
+				}
+			}
+			payloads[o] = payload{Mat: g}
+		} else {
+			payloads[o] = payload{Bytes: wireFloats(len(ctx.localPos[o]), width)}
+		}
+		if o != me {
+			w.stats.HiddenA2ABytes += wireFloats(len(ctx.localPos[o]), width)
+		}
+	}
+	in := w.allToAll(device.StageShuffle, payloads)
+
+	for rq := 0; rq < n; rq++ {
+		served := ctx.served[rq]
+		if served == nil {
+			continue
+		}
+		w.chargeDense(4 * float64(len(served.srcIDs)) * float64(layer.InDim()) * float64(width))
+		if w.real() {
+			mat := in[rq].Mat
+			for k := 0; k < heads; k++ {
+				dZk := tensor.New(mat.Rows, dh)
+				for i := 0; i < mat.Rows; i++ {
+					copy(dZk.Row(i), mat.Row(i)[k*dh:(k+1)*dh])
+				}
+				layer.ProjectHeadBackward(k, served.x, dZk)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// StepTrace records one synchronized mini-batch step's stage times
+// (max across devices) — the per-step view of the epoch decomposition,
+// useful for spotting stragglers and tail batches.
+type StepTrace struct {
+	Step      int
+	SampleSec float64
+	BuildSec  float64
+	LoadSec   float64
+	TrainSec  float64
+	ShuffSec  float64
+}
+
+// Total sums the step's stages.
+func (s StepTrace) Total() float64 {
+	return s.SampleSec + s.BuildSec + s.LoadSec + s.TrainSec + s.ShuffSec
+}
+
+// stageSnapshot captures a device's cumulative stage clocks.
+type stageSnapshot [5]float64
+
+var timelineStages = [5]string{
+	device.StageSample, device.StageBuild, device.StageLoad,
+	device.StageTrain, device.StageShuffle,
+}
+
+func snapshotOf(d *device.Device) stageSnapshot {
+	var s stageSnapshot
+	for i, name := range timelineStages {
+		s[i] = d.Elapsed(name)
+	}
+	return s
+}
+
+// recordStep appends the delta since prev to the worker's timeline and
+// returns the new snapshot.
+func (w *worker) recordStep(step int, prev stageSnapshot) stageSnapshot {
+	cur := snapshotOf(w.dev)
+	w.timeline = append(w.timeline, StepTrace{
+		Step:      step,
+		SampleSec: cur[0] - prev[0],
+		BuildSec:  cur[1] - prev[1],
+		LoadSec:   cur[2] - prev[2],
+		TrainSec:  cur[3] - prev[3],
+		ShuffSec:  cur[4] - prev[4],
+	})
+	return cur
+}
+
+// mergeTimelines folds per-worker step traces into per-step maxima
+// (synchronous steps wait for the slowest device).
+func (e *Engine) mergeTimelines(numBatches int) []StepTrace {
+	out := make([]StepTrace, numBatches)
+	for i := range out {
+		out[i].Step = i
+	}
+	for _, w := range e.workers {
+		for _, st := range w.timeline {
+			if st.Step >= numBatches {
+				continue
+			}
+			o := &out[st.Step]
+			o.SampleSec = maxf64(o.SampleSec, st.SampleSec)
+			o.BuildSec = maxf64(o.BuildSec, st.BuildSec)
+			o.LoadSec = maxf64(o.LoadSec, st.LoadSec)
+			o.TrainSec = maxf64(o.TrainSec, st.TrainSec)
+			o.ShuffSec = maxf64(o.ShuffSec, st.ShuffSec)
+		}
+	}
+	return out
+}
+
+func maxf64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatTimeline renders step traces as an aligned table.
+func FormatTimeline(steps []StepTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-5s %9s %9s %9s %9s %9s %9s\n",
+		"step", "sample", "build", "load", "train", "shuffle", "total")
+	for _, s := range steps {
+		fmt.Fprintf(&b, "  %-5d %9.5f %9.5f %9.5f %9.5f %9.5f %9.5f\n",
+			s.Step, s.SampleSec, s.BuildSec, s.LoadSec, s.TrainSec, s.ShuffSec, s.Total())
+	}
+	return b.String()
+}

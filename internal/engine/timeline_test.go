@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	f := newFixture(t, 3, 300)
+	newModel := func() *nn.Model { return nn.NewGraphSAGE(f.dim, 8, f.classes, 2) }
+	plan := sample.SplitEven(f.seeds, 3, graph.NewRNG(2))
+	cfg := f.config(strategy.SNP, newModel, plan, []int{4, 4})
+	cfg.RecordTimeline = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.RunEpoch()
+	if len(st.Timeline) != st.NumBatches {
+		t.Fatalf("timeline has %d steps, want %d", len(st.Timeline), st.NumBatches)
+	}
+	var total float64
+	for i, step := range st.Timeline {
+		if step.Step != i {
+			t.Errorf("step %d indexed as %d", i, step.Step)
+		}
+		if step.Total() < 0 {
+			t.Errorf("negative step time %+v", step)
+		}
+		total += step.Total()
+	}
+	// Per-step maxima sum to at least the epoch total (max-of-sums <=
+	// sum-of-maxes) and not absurdly more.
+	if total < st.EpochTime() {
+		t.Errorf("timeline total %v < epoch time %v", total, st.EpochTime())
+	}
+	if total > 3*st.EpochTime() {
+		t.Errorf("timeline total %v suspiciously exceeds epoch time %v", total, st.EpochTime())
+	}
+	out := FormatTimeline(st.Timeline)
+	if !strings.Contains(out, "step") || !strings.Contains(out, "shuffle") {
+		t.Error("FormatTimeline output malformed")
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	f := newFixture(t, 2, 150)
+	newModel := func() *nn.Model { return nn.NewGraphSAGE(f.dim, 8, f.classes, 2) }
+	e, err := New(f.config(strategy.GDP, newModel, nil, []int{4, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.RunEpoch(); st.Timeline != nil {
+		t.Error("timeline recorded without opting in")
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+func tinyEnv() *Env {
+	return NewEnv(Options{Scale: 0.04, Epochs: 1, Devices: 4, BatchSize: 32})
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.Scale != 1.0 || o.Devices != 8 || o.Epochs != 2 || o.BatchSize != 64 || o.CacheFraction != 0.08 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o2 := Options{Scale: 0.5}.Defaults()
+	if o2.Scale != 0.5 {
+		t.Error("explicit scale overridden")
+	}
+}
+
+func TestEnvCachesDatasetsAndPartitions(t *testing.T) {
+	e := tinyEnv()
+	d1 := e.Dataset("PS")
+	d2 := e.Dataset("PS")
+	if d1 != d2 {
+		t.Error("dataset not cached")
+	}
+	p1 := e.Partition("PS", 4, 0)
+	p2 := e.Partition("PS", 4, 0)
+	if p1 != p2 {
+		t.Error("partition not cached")
+	}
+}
+
+func TestRunCaseProducesAllStrategies(t *testing.T) {
+	e := tinyEnv()
+	res, err := e.RunCase(e.task(taskConfig{abbr: "FS", hidden: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("got %d strategies", len(res.Stats))
+	}
+	for _, k := range strategy.Core {
+		if res.Stats[k].EpochTime() <= 0 {
+			t.Errorf("%v: zero epoch time", k)
+		}
+	}
+	best, bestT := res.Best()
+	for _, k := range strategy.Core {
+		if res.Stats[k].EpochTime() < bestT {
+			t.Errorf("Best() returned %v but %v is faster", best, k)
+		}
+	}
+}
+
+func TestTaskConfigKnobs(t *testing.T) {
+	e := tinyEnv()
+	// Cache sentinel disables the cache.
+	task := e.task(taskConfig{abbr: "PS", hidden: 16, cacheFrac: -1})
+	if task.CacheBytes != 0 {
+		t.Error("cache sentinel ignored")
+	}
+	// Input-dim override keeps memory anchored to the preset.
+	t64 := e.task(taskConfig{abbr: "PS", featDim: 64, hidden: 16})
+	t512 := e.task(taskConfig{abbr: "PS", featDim: 512, hidden: 16})
+	if t64.Platform.GPUMemBytes != t512.Platform.GPUMemBytes {
+		t.Error("GPU memory should be anchored to the preset, not the config dim")
+	}
+	if t64.FeatDim != 64 || t512.FeatDim != 512 {
+		t.Error("feat dim override lost")
+	}
+	// GAT configuration.
+	g := e.task(taskConfig{abbr: "PS", model: "gat", hidden: 4, heads: 2, fanouts: []int{5, 5}})
+	if !g.NewModel().NeedsDstInSrc() {
+		t.Error("gat task did not build a GAT")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	out, err := tinyEnv().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GDP", "NFP", "SNP", "DNP", "partial-aggr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	out, err := tinyEnv().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PS", "FS", "IM", "<1%", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+func TestFigure12Report(t *testing.T) {
+	out, err := tinyEnv().Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "estimated") || !strings.Contains(out, "error") {
+		t.Error("Figure12 report malformed")
+	}
+}
+
+func TestFigure11ShowsPartitionSensitivity(t *testing.T) {
+	out, err := tinyEnv().Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "random partitioning") || !strings.Contains(out, "slowdown") {
+		t.Error("Figure11 report malformed")
+	}
+}
+
+func TestExtensionHybridReport(t *testing.T) {
+	out, err := tinyEnv().ExtensionHybrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Hybrid") {
+		t.Error("hybrid report missing Hybrid row")
+	}
+}
+
+func TestMeanStats(t *testing.T) {
+	e := tinyEnv()
+	res, err := e.RunCase(e.task(taskConfig{abbr: "FS", hidden: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats[strategy.GDP]
+	if st.EpochTime() != st.SampleSec+st.BuildSec+st.LoadSec+st.TrainSec+st.ShuffleSec {
+		t.Error("meanStats broke the decomposition")
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment end-to-end at a tiny
+// scale (skipped with -short). It guards the whole harness against
+// regressions; the benchmarks exercise realistic scales.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full experiment sweep")
+	}
+	e := NewEnv(Options{Scale: 0.03, Epochs: 1, Devices: 4, BatchSize: 32})
+	for _, exp := range []struct {
+		name string
+		fn   func() (string, error)
+	}{
+		{"fig1", e.Figure1},
+		{"fig6", e.Figure6},
+		{"fig7", e.Figure7},
+		{"fig8a", e.Figure8Hidden},
+		{"fig8b", e.Figure8Fanout},
+		{"fig8c", e.Figure8Cache},
+		{"fig9", e.Figure9},
+		{"fig10", e.Figure10},
+		{"tab2", e.Table2},
+		{"tab4", e.Table4},
+		{"ablation-fullcost", e.AblationFullCost},
+		{"ablation-dryrun", e.AblationDryRunEpochs},
+		{"ablation-cache", e.AblationCachePolicy},
+		{"ablation-pipeline", e.AblationPipelining},
+		{"ext-nvlink", e.ExtensionNVLink},
+		{"ext-cpucache", e.ExtensionCPUCache},
+		{"ext-layerwise", e.ExtensionLayerWise},
+		{"ext-fullgraph", e.ExtensionFullGraph},
+		{"ext-phase", e.ExtensionPhaseDiagram},
+	} {
+		out, err := exp.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s: suspiciously short report", exp.name)
+		}
+	}
+}

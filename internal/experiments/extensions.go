@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// ExtensionCPUCache evaluates the paper's footnote-3 mechanism: each
+// machine replicates hot remotely-hosted features into excess CPU
+// memory, cutting cross-machine reads on the distributed platform.
+func (e *Env) ExtensionCPUCache() (string, error) {
+	var b strings.Builder
+	b.WriteString(header("Extension: CPU hotness cache", "per-machine replication of hot remote features (paper footnote 3)"))
+	p := hardware.FourMachines4GPU()
+	for _, abbr := range []string{"PS", "FS"} {
+		d := e.Dataset(abbr)
+		base := e.task(taskConfig{abbr: abbr, hidden: 32, platform: p})
+		withCPU := e.task(taskConfig{abbr: abbr, hidden: 32, platform: p})
+		withCPU.CPUCacheBytes = d.CacheBytesFraction(0.25)
+		off, err := e.RunCase(base)
+		if err != nil {
+			return "", err
+		}
+		on, err := e.RunCase(withCPU)
+		if err != nil {
+			return "", err
+		}
+		rows := [][]string{}
+		for _, k := range strategy.Core {
+			offSt, onSt := off.Stats[k], on.Stats[k]
+			rows = append(rows, []string{k.String(),
+				fmt.Sprintf("%.1fMB", float64(offSt.Totals.Load.Bytes[cache.LocRemoteCPU])/1e6),
+				fmt.Sprintf("%.1fMB", float64(onSt.Totals.Load.Bytes[cache.LocRemoteCPU])/1e6),
+				fmt.Sprintf("%.4fs", offSt.EpochTime()),
+				fmt.Sprintf("%.4fs", onSt.EpochTime()),
+			})
+		}
+		b.WriteString(trace.RenderTable(fmt.Sprintf("%s distributed", abbr),
+			[]string{"strategy", "remote reads (off)", "remote reads (on)", "epoch (off)", "epoch (on)"}, rows))
+	}
+	return b.String(), nil
+}
+
+// ExtensionLayerWise runs the strategy comparison under layer-wise
+// (FastGCN-style) sampling — APT treats sampling as a black box, so
+// the whole pipeline, including planning, works unchanged.
+func (e *Env) ExtensionLayerWise() (string, error) {
+	var b strings.Builder
+	b.WriteString(header("Extension: layer-wise sampling", "strategies + APT under a FastGCN-style sampler"))
+	for _, abbr := range []string{"PS", "FS"} {
+		task := e.task(taskConfig{abbr: abbr, hidden: 32})
+		task.Sampling.Method = sample.LayerWise
+		apt, err := core.New(task)
+		if err != nil {
+			return "", err
+		}
+		choice, err := apt.Plan()
+		if err != nil {
+			return "", err
+		}
+		rows := []trace.Row{}
+		for _, k := range strategy.Core {
+			eng, err := apt.BuildEngine(k)
+			if err != nil {
+				return "", err
+			}
+			st := eng.RunEpoch()
+			rows = append(rows, trace.Row{
+				Label:  k.String(),
+				Marked: k == choice,
+				Segments: []trace.Seg{
+					{Name: "sampling", Sec: st.SamplingBar()},
+					{Name: "loading", Sec: st.LoadSec},
+					{Name: "training", Sec: st.TrainBar()},
+				},
+			})
+		}
+		b.WriteString(trace.RenderBars(fmt.Sprintf("%s, layer-wise sampling, hidden 32", abbr), rows))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// EdgeListOptions configures text edge-list parsing.
+type EdgeListOptions struct {
+	// Undirected adds each edge in both directions (the common case
+	// for SNAP-style social-network files).
+	Undirected bool
+	// Comment marks lines to skip when they start with this prefix
+	// (default "#").
+	Comment string
+	// DropSelfLoops removes u->u edges (default behavior of Build).
+	DropSelfLoops bool
+}
+
+// ReadEdgeList parses a whitespace-separated "src dst" text edge list
+// (the format SNAP and OGB distribute graphs in) into a CSR graph.
+// Node IDs must be non-negative integers; the graph spans [0, maxID].
+// Unknown tokens or malformed lines produce an error with the line
+// number.
+func ReadEdgeList(r io.Reader, opts EdgeListOptions) (*Graph, error) {
+	if opts.Comment == "" {
+		opts.Comment = "#"
+	}
+	type rawEdge struct{ u, v int64 }
+	var edges []rawEdge
+	var maxID int64 = -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, opts.Comment) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: want 'src dst', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: edge list line %d: negative node ID", lineNo)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, rawEdge{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: edge list: %w", err)
+	}
+	if maxID >= 1<<31 {
+		return nil, fmt.Errorf("graph: node ID %d exceeds int32", maxID)
+	}
+	b := NewBuilder(int(maxID + 1))
+	for _, e := range edges {
+		if opts.Undirected {
+			b.AddUndirected(NodeID(e.u), NodeID(e.v))
+		} else {
+			b.AddEdge(NodeID(e.u), NodeID(e.v))
+		}
+	}
+	return b.Build(opts.DropSelfLoops), nil
+}
+
+// WriteEdgeList emits the graph as a "src dst" text edge list (each
+// directed edge once).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(NodeID(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+1 0
+2 0
+
+3 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Errorf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("Degree(0) = %d", g.Degree(0))
+	}
+}
+
+func TestReadEdgeListUndirected(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), EdgeListOptions{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"abc def\n",
+		"1\n",
+		"-1 2\n",
+		"1 xyz\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c), EdgeListOptions{}); err == nil {
+			t.Errorf("accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := PreferentialAttachment(GenerateConfig{NumNodes: 200, AvgDegree: 6, Seed: 3})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(g, g2) {
+		t.Error("edge-list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListCustomComment(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("% skip\n0 1\n"), EdgeListOptions{Comment: "%"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}

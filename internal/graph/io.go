@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary serialization of CSR graphs. Format:
+//
+//	magic   uint32  "APTG"
+//	version uint32  1
+//	nodes   uint64
+//	edges   uint64
+//	indptr  [nodes+1]int64
+//	indices [edges]int32
+//
+// Little-endian throughout; intended for caching generated graphs
+// between benchmark runs.
+
+const (
+	graphMagic   = 0x41505447 // "APTG"
+	graphVersion = 1
+)
+
+// Write serializes g to w.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint64{graphMagic, graphVersion, uint64(g.NumNodes()), uint64(g.NumEdges())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("graph: write header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Indptr); err != nil {
+		return fmt.Errorf("graph: write indptr: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Indices); err != nil {
+		return fmt.Errorf("graph: write indices: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a Graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: read header: %w", err)
+		}
+	}
+	if hdr[0] != graphMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != graphVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
+	}
+	nodes, edges := hdr[2], hdr[3]
+	// Bound the header-declared sizes: node IDs are int32 by design.
+	if nodes >= 1<<31 {
+		return nil, fmt.Errorf("graph: header declares %d nodes (exceeds int32 IDs)", nodes)
+	}
+	if edges >= 1<<33 {
+		return nil, fmt.Errorf("graph: header declares %d edges (implausible)", edges)
+	}
+	// Allocate progressively while reading so a corrupt or hostile
+	// header cannot force a huge up-front allocation: memory grows only
+	// as actual payload bytes arrive, and a truncated stream fails
+	// after at most one chunk.
+	g := &Graph{}
+	indptr, err := readChunkedInt64(br, nodes+1)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read indptr: %w", err)
+	}
+	g.Indptr = indptr
+	indices, err := readChunkedInt32(br, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read indices: %w", err)
+	}
+	g.Indices = indices
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ioChunk bounds single allocations while deserializing (1M entries).
+const ioChunk = 1 << 20
+
+func readChunkedInt64(r io.Reader, n uint64) ([]int64, error) {
+	out := make([]int64, 0, minU64(n, ioChunk))
+	for n > 0 {
+		c := minU64(n, ioChunk)
+		buf := make([]int64, c)
+		if err := binary.Read(r, binary.LittleEndian, &buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		n -= c
+	}
+	return out, nil
+}
+
+func readChunkedInt32(r io.Reader, n uint64) ([]int32, error) {
+	out := make([]int32, 0, minU64(n, ioChunk))
+	for n > 0 {
+		c := minU64(n, ioChunk)
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, &buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		n -= c
+	}
+	return out, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SaveFile writes g to path atomically (via a temp file + rename).
+func (g *Graph) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a graph previously written by SaveFile.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DegreeStats summarizes the degree distribution of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// P50, P90, P99 are degree percentiles.
+	P50, P90, P99 int
+	// GiniCoefficient in [0,1] measures degree inequality; power-law
+	// graphs score high, uniform graphs low.
+	GiniCoefficient float64
+}
+
+// ComputeDegreeStats scans the graph once and returns its degree summary.
+func ComputeDegreeStats(g *Graph) DegreeStats {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	degs := make([]int, n)
+	var sum int64
+	mn, mx := int(^uint(0)>>1), 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(NodeID(v))
+		degs[v] = d
+		sum += int64(d)
+		if d < mn {
+			mn = d
+		}
+		if d > mx {
+			mx = d
+		}
+	}
+	sort.Ints(degs)
+	pct := func(p float64) int { return degs[int(p*float64(n-1))] }
+	// Gini over the sorted degrees.
+	var cum, weighted float64
+	for i, d := range degs {
+		cum += float64(d)
+		weighted += float64(i+1) * float64(d)
+	}
+	gini := 0.0
+	if cum > 0 {
+		gini = (2*weighted/(float64(n)*cum) - float64(n+1)/float64(n))
+	}
+	return DegreeStats{
+		Min: mn, Max: mx,
+		Mean:            float64(sum) / float64(n),
+		P50:             pct(0.50),
+		P90:             pct(0.90),
+		P99:             pct(0.99),
+		GiniCoefficient: gini,
+	}
+}
+
+// SkewBucket is one row of an access-skew table (paper Table 3): the
+// fraction of all accesses attributable to nodes in a popularity-rank
+// band.
+type SkewBucket struct {
+	// LoRank and HiRank bound the rank band as fractions of the node
+	// count, e.g. [0, 0.01) is the top-1% most accessed nodes.
+	LoRank, HiRank float64
+	// AccessRatio is that band's share of total accesses.
+	AccessRatio float64
+}
+
+// AccessSkew ranks nodes by the supplied access frequencies and returns
+// the paper's Table 3 rank bands.
+func AccessSkew(freq []int64) []SkewBucket {
+	n := len(freq)
+	sorted := make([]int64, n)
+	copy(sorted, freq)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	var total int64
+	for _, f := range sorted {
+		total += f
+	}
+	bands := [][2]float64{{0, 0.01}, {0.01, 0.05}, {0.05, 0.10}, {0.10, 0.20}, {0.20, 0.50}, {0.50, 1.00}}
+	out := make([]SkewBucket, 0, len(bands))
+	for _, b := range bands {
+		lo := int(b[0] * float64(n))
+		hi := int(b[1] * float64(n))
+		if hi > n {
+			hi = n
+		}
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += sorted[i]
+		}
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(s) / float64(total)
+		}
+		out = append(out, SkewBucket{LoRank: b[0], HiRank: b[1], AccessRatio: ratio})
+	}
+	return out
+}
+
+// FormatSkewTable renders skew buckets like the paper's Table 3 rows.
+func FormatSkewTable(buckets []SkewBucket) string {
+	var sb strings.Builder
+	for _, b := range buckets {
+		fmt.Fprintf(&sb, "%5.0f%%~%-4.0f%%  %6.1f%%\n", b.LoRank*100, b.HiRank*100, b.AccessRatio*100)
+	}
+	return sb.String()
+}

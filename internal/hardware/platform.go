@@ -1,0 +1,138 @@
+// Package hardware models the training platforms of the paper's
+// evaluation: machines with multiple GPU devices connected by PCIe
+// (optionally NVLink) inside a machine and Ethernet across machines.
+// The model supplies the bandwidth/latency numbers that both the
+// execution engine's simulated clock and APT's cost models consume —
+// playing the role of the paper's "Prepare" step that profiles the
+// speed of communication operators on real hardware.
+package hardware
+
+import "fmt"
+
+// LinkKind classifies a data path by where the bytes move.
+type LinkKind int
+
+// Link kinds, ordered roughly by speed.
+const (
+	// LinkGPUMem is a local GPU-memory read (feature-cache hit).
+	LinkGPUMem LinkKind = iota
+	// LinkNVLink is a peer-GPU read over NVLink/NVSwitch.
+	LinkNVLink
+	// LinkPCIe is a GPU <-> local-CPU transfer (UVA reads, host copies).
+	LinkPCIe
+	// LinkNetwork is a cross-machine transfer.
+	LinkNetwork
+	numLinkKinds
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkGPUMem:
+		return "gpu-mem"
+	case LinkNVLink:
+		return "nvlink"
+	case LinkPCIe:
+		return "pcie"
+	case LinkNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("link(%d)", int(k))
+	}
+}
+
+// Platform describes a training cluster.
+type Platform struct {
+	Name           string
+	Machines       int
+	GPUsPerMachine int
+
+	// GPUMemBytes is the device memory capacity (paper: 16 GB T4).
+	GPUMemBytes int64
+	// DefaultCacheBytes is the default feature-cache budget per GPU
+	// (paper default: 4 GB).
+	DefaultCacheBytes int64
+	// HasNVLink enables peer-GPU feature reads.
+	HasNVLink bool
+
+	// Bandwidth[k] is bytes/second for link kind k. LinkNetwork
+	// bandwidth is per machine and shared by its GPUs.
+	Bandwidth [numLinkKinds]float64
+	// Latency[k] is the per-operation fixed cost in seconds.
+	Latency [numLinkKinds]float64
+
+	// DenseFLOPS is effective dense-matmul throughput per GPU.
+	DenseFLOPS float64
+	// SparseFLOPS is effective throughput of memory-bound segment
+	// (SpMM) operations per GPU.
+	SparseFLOPS float64
+	// SampleEdgesPerSec is GPU-based neighbor-sampling throughput
+	// (edges drawn per second per GPU).
+	SampleEdgesPerSec float64
+}
+
+// NumDevices returns the total GPU count.
+func (p *Platform) NumDevices() int { return p.Machines * p.GPUsPerMachine }
+
+// MachineOf returns the machine hosting global device dev.
+func (p *Platform) MachineOf(dev int) int { return dev / p.GPUsPerMachine }
+
+// SameMachine reports whether two devices share a machine.
+func (p *Platform) SameMachine(a, b int) bool { return p.MachineOf(a) == p.MachineOf(b) }
+
+// InterconnectKind returns the link used for device-to-device transfers
+// between a and b: NVLink (if present) or PCIe within a machine, the
+// network across machines.
+func (p *Platform) InterconnectKind(a, b int) LinkKind {
+	if p.SameMachine(a, b) {
+		if p.HasNVLink {
+			return LinkNVLink
+		}
+		return LinkPCIe
+	}
+	return LinkNetwork
+}
+
+// TransferTime returns the seconds to move n bytes over link kind k
+// with `concurrent` devices contending for it (network bandwidth is
+// shared per machine; PCIe and NVLink are per-device).
+func (p *Platform) TransferTime(k LinkKind, n int64, concurrent int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bw := p.Bandwidth[k]
+	if k == LinkNetwork && concurrent > 1 {
+		bw /= float64(concurrent)
+	}
+	return p.Latency[k] + float64(n)/bw
+}
+
+// DenseTime returns seconds for f dense FLOPs on one GPU.
+func (p *Platform) DenseTime(f float64) float64 { return f / p.DenseFLOPS }
+
+// SparseTime returns seconds for f sparse (aggregation) FLOPs.
+func (p *Platform) SparseTime(f float64) float64 { return f / p.SparseFLOPS }
+
+// SampleTime returns seconds to sample e edges on one GPU.
+func (p *Platform) SampleTime(e int64) float64 {
+	return float64(e) / p.SampleEdgesPerSec
+}
+
+// Validate checks that the platform is internally consistent.
+func (p *Platform) Validate() error {
+	if p.Machines <= 0 || p.GPUsPerMachine <= 0 {
+		return fmt.Errorf("hardware: bad topology %dx%d", p.Machines, p.GPUsPerMachine)
+	}
+	for k := LinkKind(0); k < numLinkKinds; k++ {
+		if p.Bandwidth[k] <= 0 {
+			return fmt.Errorf("hardware: bandwidth for %v not set", k)
+		}
+	}
+	if p.DenseFLOPS <= 0 || p.SparseFLOPS <= 0 || p.SampleEdgesPerSec <= 0 {
+		return fmt.Errorf("hardware: compute rates not set")
+	}
+	if p.DefaultCacheBytes > p.GPUMemBytes {
+		return fmt.Errorf("hardware: cache %d exceeds GPU memory %d", p.DefaultCacheBytes, p.GPUMemBytes)
+	}
+	return nil
+}

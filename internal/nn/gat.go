@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// GATLayer implements multi-head additive attention (Velickovic et al.):
+//
+//	e_uv   = LeakyReLU( aL · (W h_v) + aR · (W h_u) )
+//	α_uv   = softmax_{u in N(v)}(e_uv)
+//	h_v^k  = act( ||_heads Σ_u α_uv (W_k h_u) )
+//
+// Head outputs are concatenated. Attention requires each destination to
+// see all of its sources (the paper's §3.3 point about SNP/NFP paying
+// extra communication for attention models), which is why
+// NeedsDstInSrc is true: the destination's own projection feeds aL.
+type GATLayer struct {
+	// Ws[k] projects inputs for head k; ALs[k]/ARs[k] are the
+	// destination/source halves of head k's attention vector, stored as
+	// [outPerHead x 1] matrices.
+	Ws    []*Param
+	ALs   []*Param
+	ARs   []*Param
+	Heads int
+	Act   Activation
+	// NegativeSlope of the LeakyReLU on attention logits.
+	NegativeSlope float32
+}
+
+// NewGATLayer creates a GAT layer with the given head count; the output
+// dimension is heads*outPerHead (concatenation).
+func NewGATLayer(name string, in, outPerHead, heads int, act Activation) *GATLayer {
+	l := &GATLayer{Heads: heads, Act: act, NegativeSlope: 0.2}
+	for k := 0; k < heads; k++ {
+		l.Ws = append(l.Ws, NewParam(fmt.Sprintf("%s.W%d", name, k), in, outPerHead))
+		l.ALs = append(l.ALs, NewParam(fmt.Sprintf("%s.aL%d", name, k), outPerHead, 1))
+		l.ARs = append(l.ARs, NewParam(fmt.Sprintf("%s.aR%d", name, k), outPerHead, 1))
+	}
+	return l
+}
+
+// InDim implements Layer.
+func (l *GATLayer) InDim() int { return l.Ws[0].W.Rows }
+
+// OutDim implements Layer (concatenated width).
+func (l *GATLayer) OutDim() int { return l.Heads * l.Ws[0].W.Cols }
+
+// OutPerHead is the width of one head.
+func (l *GATLayer) OutPerHead() int { return l.Ws[0].W.Cols }
+
+// Params implements Layer.
+func (l *GATLayer) Params() []*Param {
+	ps := make([]*Param, 0, 3*l.Heads)
+	for k := 0; k < l.Heads; k++ {
+		ps = append(ps, l.Ws[k], l.ALs[k], l.ARs[k])
+	}
+	return ps
+}
+
+// NeedsDstInSrc implements Layer.
+func (l *GATLayer) NeedsDstInSrc() bool { return true }
+
+// InitParams Glorot-initializes all head parameters.
+func (l *GATLayer) InitParams(rng *graph.RNG) {
+	for _, p := range l.Params() {
+		p.GlorotInit(rng)
+	}
+}
+
+type gatHeadCtx struct {
+	z     *tensor.Matrix // projected sources [nSrc, dh]
+	sRaw  []float32      // pre-LeakyReLU logits
+	alpha []float32      // attention probabilities
+}
+
+type gatCtx struct {
+	h    *tensor.Matrix
+	attn *GATAttnCtx
+}
+
+// ProjectHead computes head k's source projection Z = h @ W_k. The
+// distributed strategies run this where the features live (SNP: on the
+// source owner; NFP: per feature shard).
+func (l *GATLayer) ProjectHead(k int, h *tensor.Matrix) *tensor.Matrix {
+	return tensor.MatMul(h, l.Ws[k].W)
+}
+
+// ProjectHeadBackward accumulates dW_k += hᵀ dZ and returns dH = dZ W_kᵀ.
+func (l *GATLayer) ProjectHeadBackward(k int, h, dZ *tensor.Matrix) *tensor.Matrix {
+	l.Ws[k].G.AddInPlace(tensor.TMatMul(h, dZ))
+	return tensor.MatMulT(dZ, l.Ws[k].W)
+}
+
+// headAttention runs one head's attention given the already-projected
+// sources z (rows aligned with blk.Src; rows [:NumDst] are the
+// destinations' own projections).
+func (l *GATLayer) headAttention(k int, blk *sample.Block, z *tensor.Matrix) (*tensor.Matrix, gatHeadCtx) {
+	er := tensor.MatMul(z, l.ARs[k].W) // [nSrc, 1]
+	nDst := blk.NumDst()
+	el := make([]float32, nDst)
+	zdst := tensor.FromData(nDst, z.Cols, z.Data[:nDst*z.Cols])
+	elm := tensor.MatMul(zdst, l.ALs[k].W)
+	copy(el, elm.Data)
+	sRaw := tensor.SDDMMAdd(blk.EdgePtr, blk.SrcIdx, el, er.Data)
+	s := tensor.LeakyReLUSlice(sRaw, l.NegativeSlope)
+	alpha := tensor.SegmentSoftmax(blk.EdgePtr, s)
+	o := tensor.SegmentWeightedSum(blk.EdgePtr, blk.SrcIdx, alpha, z)
+	return o, gatHeadCtx{z: z, sRaw: sRaw, alpha: alpha}
+}
+
+// GATAttnCtx carries the attention intermediates of all heads between
+// AttentionForward and AttentionBackward.
+type GATAttnCtx struct {
+	heads []gatHeadCtx
+	out   *tensor.Matrix
+}
+
+// Out returns the post-activation layer output.
+func (c *GATAttnCtx) Out() *tensor.Matrix { return c.out }
+
+// AttentionForward runs every head's attention given the per-head
+// source projections zs (each aligned with blk.Src) and returns the
+// concatenated, activated output. The distributed strategies assemble
+// zs from remotely computed pieces and call this where the block lives.
+func (l *GATLayer) AttentionForward(blk *sample.Block, zs []*tensor.Matrix) (*tensor.Matrix, *GATAttnCtx) {
+	nDst := blk.NumDst()
+	dh := l.OutPerHead()
+	concat := tensor.New(nDst, l.OutDim())
+	ctx := &GATAttnCtx{heads: make([]gatHeadCtx, l.Heads)}
+	for k := 0; k < l.Heads; k++ {
+		o, hc := l.headAttention(k, blk, zs[k])
+		ctx.heads[k] = hc
+		for i := 0; i < nDst; i++ {
+			copy(concat.Row(i)[k*dh:(k+1)*dh], o.Row(i))
+		}
+	}
+	ctx.out = applyActivation(l.Act, concat)
+	return ctx.out, ctx
+}
+
+// AttentionBackward propagates dOut through activation and every
+// head's attention, accumulating aL/aR gradients, and returns the
+// per-head gradients w.r.t. the projections zs.
+func (l *GATLayer) AttentionBackward(blk *sample.Block, ctx *GATAttnCtx, dOut *tensor.Matrix) []*tensor.Matrix {
+	dConcat := activationBackward(l.Act, ctx.out, dOut)
+	nDst := blk.NumDst()
+	dh := l.OutPerHead()
+	dZs := make([]*tensor.Matrix, l.Heads)
+	for k := 0; k < l.Heads; k++ {
+		dO := tensor.New(nDst, dh)
+		for i := 0; i < nDst; i++ {
+			copy(dO.Row(i), dConcat.Row(i)[k*dh:(k+1)*dh])
+		}
+		dZs[k] = l.headBackwardToProjection(k, blk, ctx.heads[k], dO)
+	}
+	return dZs
+}
+
+// Forward implements Layer.
+func (l *GATLayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix, LayerCtx) {
+	if h.Rows != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: GAT forward got %d src rows, block has %d", h.Rows, blk.NumSrc()))
+	}
+	zs := make([]*tensor.Matrix, l.Heads)
+	for k := 0; k < l.Heads; k++ {
+		zs[k] = l.ProjectHead(k, h)
+	}
+	out, attn := l.AttentionForward(blk, zs)
+	return out, &gatCtx{h: h, attn: attn}
+}
+
+// Backward implements Layer.
+func (l *GATLayer) Backward(blk *sample.Block, ctxI LayerCtx, dOut *tensor.Matrix) *tensor.Matrix {
+	ctx := ctxI.(*gatCtx)
+	dZs := l.AttentionBackward(blk, ctx.attn, dOut)
+	dHTotal := tensor.New(ctx.h.Rows, l.InDim())
+	for k := 0; k < l.Heads; k++ {
+		dHTotal.AddInPlace(l.ProjectHeadBackward(k, ctx.h, dZs[k]))
+	}
+	return dHTotal
+}
+
+// headBackwardToProjection propagates one head's output gradient back
+// to the projected features Z, accumulating attention-vector gradients.
+func (l *GATLayer) headBackwardToProjection(k int, blk *sample.Block, c gatHeadCtx, dO *tensor.Matrix) *tensor.Matrix {
+	dh := l.OutPerHead()
+	nDst := blk.NumDst()
+	dZ, dAlpha := tensor.SegmentWeightedSumBackward(blk.EdgePtr, blk.SrcIdx, c.alpha, c.z, dO)
+	dS := tensor.SegmentSoftmaxBackward(blk.EdgePtr, c.alpha, dAlpha)
+	dSRaw := tensor.LeakyReLUSliceBackward(c.sRaw, dS, l.NegativeSlope)
+	dEl := make([]float32, nDst)
+	dEr := make([]float32, blk.NumSrc())
+	for i := 0; i < nDst; i++ {
+		for e := blk.EdgePtr[i]; e < blk.EdgePtr[i+1]; e++ {
+			dEl[i] += dSRaw[e]
+			dEr[blk.SrcIdx[e]] += dSRaw[e]
+		}
+	}
+	zdst := tensor.FromData(nDst, dh, c.z.Data[:nDst*dh])
+	l.ALs[k].G.AddInPlace(tensor.TMatMul(zdst, tensor.FromData(nDst, 1, dEl)))
+	l.ARs[k].G.AddInPlace(tensor.TMatMul(c.z, tensor.FromData(blk.NumSrc(), 1, dEr)))
+	aL, aR := l.ALs[k].W.Data, l.ARs[k].W.Data
+	for i := 0; i < nDst; i++ {
+		row := dZ.Row(i)
+		for j := 0; j < dh; j++ {
+			row[j] += dEl[i] * aL[j]
+		}
+	}
+	for i := 0; i < blk.NumSrc(); i++ {
+		row := dZ.Row(i)
+		for j := 0; j < dh; j++ {
+			row[j] += dEr[i] * aR[j]
+		}
+	}
+	return dZ
+}

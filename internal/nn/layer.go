@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// Layer is one GNN layer: it computes destination embeddings from
+// source embeddings over a bipartite block. Forward returns the output
+// and an opaque context consumed by Backward; Backward accumulates
+// parameter gradients and returns the gradient w.r.t. the layer input.
+type Layer interface {
+	// InDim and OutDim are the source and destination embedding widths.
+	InDim() int
+	OutDim() int
+	// Params lists the layer's trainable parameters.
+	Params() []*Param
+	// Forward computes dst embeddings from src embeddings h
+	// (shape [block.NumSrc(), InDim()]).
+	Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix, LayerCtx)
+	// Backward propagates dOut (shape [NumDst, OutDim]) to dIn
+	// (shape [NumSrc, InDim]), accumulating parameter gradients.
+	Backward(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matrix) *tensor.Matrix
+	// NeedsDstInSrc reports whether the layer requires every
+	// destination to appear in its block's source list (attention).
+	NeedsDstInSrc() bool
+}
+
+// LayerCtx carries forward-pass intermediates to the backward pass.
+type LayerCtx interface{}
+
+// Activation selects the nonlinearity applied to a layer's output.
+type Activation int
+
+// Supported activations.
+const (
+	// ActNone leaves the output linear (final classification layers).
+	ActNone Activation = iota
+	// ActReLU applies max(0, x).
+	ActReLU
+)
+
+func applyActivation(act Activation, x *tensor.Matrix) *tensor.Matrix {
+	switch act {
+	case ActReLU:
+		return tensor.ReLU(x)
+	default:
+		return x
+	}
+}
+
+func activationBackward(act Activation, out, dOut *tensor.Matrix) *tensor.Matrix {
+	switch act {
+	case ActReLU:
+		return tensor.ReLUBackward(out, dOut)
+	default:
+		return dOut
+	}
+}

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against integer labels and the gradient w.r.t. the logits. The
+// gradient is divided by globalBatch (not the local row count) so that
+// summing worker gradients across a data-parallel group yields the
+// gradient of the global mini-batch mean — the invariant the
+// strategy-equivalence tests rely on.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32, globalBatch int) (float64, *tensor.Matrix) {
+	n, c := logits.Rows, logits.Cols
+	grad := tensor.New(n, c)
+	var loss float64
+	inv := 1.0 / float64(globalBatch)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		probs := grad.Row(i)
+		for j, v := range row {
+			p := math.Exp(float64(v - mx))
+			probs[j] = float32(p)
+			sum += p
+		}
+		invSum := float32(1 / sum)
+		y := labels[i]
+		for j := range probs {
+			probs[j] *= invSum
+		}
+		loss += -math.Log(math.Max(float64(probs[y]), 1e-30)) * inv
+		probs[y] -= 1
+		for j := range probs {
+			probs[j] *= float32(inv)
+		}
+	}
+	return loss, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int32) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}

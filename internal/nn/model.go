@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// Model is a stack of GNN layers applied block-by-block to a sampled
+// mini-batch. Blocks[l] feeds layer l (bottom-up ordering; see package
+// sample).
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Params returns all trainable parameters in a stable order.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Init Glorot-initializes every parameter from rng; deterministic given
+// the seed, so every worker replica starts identical.
+func (m *Model) Init(rng *graph.RNG) {
+	for _, p := range m.Params() {
+		p.GlorotInit(rng)
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NeedsDstInSrc reports whether any layer requires destination
+// self-inclusion in block sources (true for GAT).
+func (m *Model) NeedsDstInSrc() bool {
+	for _, l := range m.Layers {
+		if l.NeedsDstInSrc() {
+			return true
+		}
+	}
+	return false
+}
+
+// NumParamElements is the total scalar parameter count (the "small
+// model" whose synchronization the paper treats as cheap).
+func (m *Model) NumParamElements() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.NumElements()
+	}
+	return n
+}
+
+// ForwardState carries all layer contexts of a forward pass.
+type ForwardState struct {
+	Inputs []*tensor.Matrix // input to each layer
+	Ctxs   []LayerCtx
+	Logits *tensor.Matrix
+}
+
+// Forward runs the full model on mini-batch mb with gathered input
+// features x (rows aligned with mb.Blocks[0].Src).
+func (m *Model) Forward(mb *sample.MiniBatch, x *tensor.Matrix) *ForwardState {
+	if len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	st := &ForwardState{
+		Inputs: make([]*tensor.Matrix, len(m.Layers)),
+		Ctxs:   make([]LayerCtx, len(m.Layers)),
+	}
+	h := x
+	for l, layer := range m.Layers {
+		st.Inputs[l] = h
+		out, ctx := layer.Forward(mb.Blocks[l], h)
+		st.Ctxs[l] = ctx
+		h = out
+	}
+	st.Logits = h
+	return st
+}
+
+// Backward propagates dLogits through all layers, accumulating
+// parameter gradients. The gradient w.r.t. the input features is
+// discarded (features are not trained).
+func (m *Model) Backward(mb *sample.MiniBatch, st *ForwardState, dLogits *tensor.Matrix) {
+	d := dLogits
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		d = m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
+	}
+}
+
+// ForwardPartial runs layers [fromLayer, end) given h already computed
+// for Blocks[fromLayer].Src. Used by the unified engine, which executes
+// layer 0 via a parallelization strategy and the remaining layers
+// data-parallel.
+func (m *Model) ForwardPartial(mb *sample.MiniBatch, fromLayer int, h *tensor.Matrix) *ForwardState {
+	st := &ForwardState{
+		Inputs: make([]*tensor.Matrix, len(m.Layers)),
+		Ctxs:   make([]LayerCtx, len(m.Layers)),
+	}
+	for l := fromLayer; l < len(m.Layers); l++ {
+		st.Inputs[l] = h
+		out, ctx := m.Layers[l].Forward(mb.Blocks[l], h)
+		st.Ctxs[l] = ctx
+		h = out
+	}
+	st.Logits = h
+	return st
+}
+
+// BackwardPartial propagates dLogits down to (and excluding) layer
+// toLayer, returning the gradient w.r.t. Blocks[toLayer].Dst embeddings
+// — i.e. the input gradient of layer toLayer+1.
+func (m *Model) BackwardPartial(mb *sample.MiniBatch, st *ForwardState, toLayer int, dLogits *tensor.Matrix) *tensor.Matrix {
+	d := dLogits
+	for l := len(m.Layers) - 1; l > toLayer; l-- {
+		d = m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
+	}
+	return d
+}
+
+// NewGraphSAGE builds the paper's default GraphSAGE: layers-1 hidden
+// layers of width hidden with ReLU, and a linear classification layer.
+func NewGraphSAGE(inDim, hidden, classes, layers int) *Model {
+	m := &Model{Name: "GraphSAGE"}
+	for l := 0; l < layers; l++ {
+		in, out, act := hidden, hidden, ActReLU
+		if l == 0 {
+			in = inDim
+		}
+		if l == layers-1 {
+			out, act = classes, ActNone
+		}
+		m.Layers = append(m.Layers, NewSAGELayer(fmt.Sprintf("sage%d", l), in, out, act))
+	}
+	return m
+}
+
+// NewGraphSAGEWithAgg is NewGraphSAGE with an explicit aggregator.
+func NewGraphSAGEWithAgg(inDim, hidden, classes, layers int, agg Aggregator) *Model {
+	m := NewGraphSAGE(inDim, hidden, classes, layers)
+	for _, l := range m.Layers {
+		l.(*SAGELayer).Agg = agg
+	}
+	return m
+}
+
+// NewGAT builds the paper's GAT: hidden layers with `heads` attention
+// heads of width hiddenPerHead (concatenated), and a single-head linear
+// output layer.
+func NewGAT(inDim, hiddenPerHead, heads, classes, layers int) *Model {
+	m := &Model{Name: "GAT"}
+	for l := 0; l < layers; l++ {
+		in := hiddenPerHead * heads
+		if l == 0 {
+			in = inDim
+		}
+		if l == layers-1 {
+			m.Layers = append(m.Layers, NewGATLayer(fmt.Sprintf("gat%d", l), in, classes, 1, ActNone))
+		} else {
+			m.Layers = append(m.Layers, NewGATLayer(fmt.Sprintf("gat%d", l), in, hiddenPerHead, heads, ActReLU))
+		}
+	}
+	return m
+}

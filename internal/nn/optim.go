@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers
+	// zero them explicitly between iterations).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity map[*Param]*tensor.Matrix
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param]*tensor.Matrix{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum == 0 {
+			p.W.AXPY(-o.LR, p.G)
+			continue
+		}
+		v := o.velocity[p]
+		if v == nil {
+			v = tensor.New(p.W.Rows, p.W.Cols)
+			o.velocity[p] = v
+		}
+		v.ScaleInPlace(o.Momentum)
+		v.AddInPlace(p.G)
+		p.W.AXPY(-o.LR, v)
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	t                     int
+	m, v                  map[*Param]*tensor.Matrix
+}
+
+// NewAdam constructs Adam with standard defaults for unset fields.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*tensor.Matrix{}, v: map[*Param]*tensor.Matrix{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = tensor.New(p.W.Rows, p.W.Cols)
+			v = tensor.New(p.W.Rows, p.W.Cols)
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, g := range p.G.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mhat := m.Data[i] / c1
+			vhat := v.Data[i] / c2
+			p.W.Data[i] -= a.LR * mhat / (float32(math.Sqrt(float64(vhat))) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package nn implements the GNN models of the paper's evaluation —
+// GraphSAGE (mean aggregation, Eq. 1) and GAT (multi-head additive
+// attention) — with hand-written forward and backward passes over the
+// kernels in package tensor, plus losses and optimizers. The layer
+// computations are exposed at the granularity the unified execution
+// engine needs to run them distributed (project / aggregate split).
+package nn
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	G    *tensor.Matrix
+}
+
+// NewParam allocates a parameter and its gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), G: tensor.New(rows, cols)}
+}
+
+// GlorotInit fills p.W with the Glorot/Xavier uniform distribution,
+// the init used by DGL's SAGEConv/GATConv.
+func (p *Param) GlorotInit(rng *graph.RNG) {
+	limit := float32(math.Sqrt(6.0 / float64(p.W.Rows+p.W.Cols)))
+	for i := range p.W.Data {
+		p.W.Data[i] = (2*rng.Float32() - 1) * limit
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// NumElements returns the parameter element count.
+func (p *Param) NumElements() int { return len(p.W.Data) }

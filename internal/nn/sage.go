@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// Aggregator selects how a SAGE layer merges neighbor messages. Both
+// choices decompose into per-owner partial sums (plus a final
+// normalization for the mean), which is what lets SNP/NFP aggregate
+// partially (paper Table 1).
+type Aggregator int
+
+// Aggregators.
+const (
+	// AggMean divides the neighbor sum by the sampled degree
+	// (GraphSAGE-mean, the paper's default).
+	AggMean Aggregator = iota
+	// AggSum keeps the raw neighbor sum (GIN-style).
+	AggSum
+)
+
+// String implements fmt.Stringer.
+func (a Aggregator) String() string {
+	if a == AggSum {
+		return "sum"
+	}
+	return "mean"
+}
+
+// SAGELayer implements the paper's Eq. (1):
+//
+//	h_v = act( AGG_{u in N(v)} ( W · h_u ) )
+//
+// The computation is decomposed into Project (dense: Z = H W) and
+// aggregation (sparse: segment sum/mean), matching the Figure 5 tensor
+// abstraction so the execution engine can distribute the two halves
+// independently (NFP partitions Project's columns; SNP/DNP split the
+// aggregation by source/destination nodes).
+type SAGELayer struct {
+	W   *Param
+	Act Activation
+	Agg Aggregator
+}
+
+// NewSAGELayer creates a GraphSAGE layer mapping in -> out dims with
+// mean aggregation.
+func NewSAGELayer(name string, in, out int, act Activation) *SAGELayer {
+	return &SAGELayer{W: NewParam(name+".W", in, out), Act: act, Agg: AggMean}
+}
+
+// InDim implements Layer.
+func (l *SAGELayer) InDim() int { return l.W.W.Rows }
+
+// OutDim implements Layer.
+func (l *SAGELayer) OutDim() int { return l.W.W.Cols }
+
+// Params implements Layer.
+func (l *SAGELayer) Params() []*Param { return []*Param{l.W} }
+
+// NeedsDstInSrc implements Layer; SAGE mean aggregation only reads
+// neighbor embeddings.
+func (l *SAGELayer) NeedsDstInSrc() bool { return false }
+
+type sageCtx struct {
+	h   *tensor.Matrix // layer input (sources)
+	out *tensor.Matrix // post-activation output
+}
+
+// Project computes Z = h @ W, the dense half of the layer. Exposed for
+// the distributed execution paths.
+func (l *SAGELayer) Project(h *tensor.Matrix) *tensor.Matrix {
+	return tensor.MatMul(h, l.W.W)
+}
+
+// ProjectBackward accumulates dW += hᵀ dZ and returns dH = dZ Wᵀ.
+func (l *SAGELayer) ProjectBackward(h, dZ *tensor.Matrix) *tensor.Matrix {
+	l.W.G.AddInPlace(tensor.TMatMul(h, dZ))
+	return tensor.MatMulT(dZ, l.W.W)
+}
+
+// Forward implements Layer.
+func (l *SAGELayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix, LayerCtx) {
+	if h.Rows != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: SAGE forward got %d src rows, block has %d", h.Rows, blk.NumSrc()))
+	}
+	z := l.Project(h)
+	var s *tensor.Matrix
+	if l.Agg == AggSum {
+		s = tensor.SegmentSum(blk.EdgePtr, blk.SrcIdx, z)
+	} else {
+		s = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, z)
+	}
+	out := applyActivation(l.Act, s)
+	return out, &sageCtx{h: h, out: out}
+}
+
+// Backward implements Layer.
+func (l *SAGELayer) Backward(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matrix) *tensor.Matrix {
+	c := ctx.(*sageCtx)
+	dS := activationBackward(l.Act, c.out, dOut)
+	var dZ *tensor.Matrix
+	if l.Agg == AggSum {
+		dZ = tensor.SegmentSumBackward(blk.EdgePtr, blk.SrcIdx, dS, blk.NumSrc())
+	} else {
+		dZ = tensor.SegmentMeanBackward(blk.EdgePtr, blk.SrcIdx, dS, blk.NumSrc())
+	}
+	return l.ProjectBackward(c.h, dZ)
+}
+
+// NormalizeAggregate applies the aggregator's normalization to partial
+// sums assembled by the distributed paths (identity for AggSum, divide
+// by sampled degree for AggMean). It mutates s in place.
+func (l *SAGELayer) NormalizeAggregate(blk *sample.Block, s *tensor.Matrix) {
+	if l.Agg != AggMean {
+		return
+	}
+	for i := 0; i < blk.NumDst(); i++ {
+		if d := blk.DstDegree(i); d > 1 {
+			inv := float32(1.0 / float64(d))
+			row := s.Row(i)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+}
+
+// ActivationBackwardOnly exposes the activation gradient for the
+// distributed paths that re-implement the aggregation half.
+func (l *SAGELayer) ActivationBackwardOnly(out, dOut *tensor.Matrix) *tensor.Matrix {
+	return activationBackward(l.Act, out, dOut)
+}
+
+// ApplyActivationOnly exposes the activation for the distributed paths.
+func (l *SAGELayer) ApplyActivationOnly(s *tensor.Matrix) *tensor.Matrix {
+	return applyActivation(l.Act, s)
+}

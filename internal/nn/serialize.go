@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary checkpoint format for model parameters:
+//
+//	magic   uint32 "APTM"
+//	version uint32 1
+//	count   uint32
+//	per parameter: nameLen uint32, name, rows uint32, cols uint32, data
+//
+// Only parameter values are stored; architecture is reconstructed by
+// the caller's model factory, and LoadParams checks that names and
+// shapes match.
+
+const (
+	modelMagic   = 0x4150544d // "APTM"
+	modelVersion = 1
+)
+
+// SaveParams writes all parameter values to w.
+func (m *Model) SaveParams(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	params := m.Params()
+	hdr := []uint32{modelMagic, modelVersion, uint32(len(params))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("nn: save header: %w", err)
+		}
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		dims := []uint32{uint32(p.W.Rows), uint32(p.W.Cols)}
+		for _, d := range dims {
+			if err := binary.Write(bw, binary.LittleEndian, d); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.W.Data); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads parameter values written by SaveParams into this
+// model, validating names and shapes.
+func (m *Model) LoadParams(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return fmt.Errorf("nn: load header: %w", err)
+		}
+	}
+	if hdr[0] != modelMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", hdr[0])
+	}
+	if hdr[1] != modelVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", hdr[1])
+	}
+	params := m.Params()
+	if int(hdr[2]) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", hdr[2], len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: absurd name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q, model expects %q", name, p.Name)
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+			return fmt.Errorf("nn: %s shape %dx%d, model expects %dx%d",
+				p.Name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &p.W.Data); err != nil {
+			return fmt.Errorf("nn: load %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// SaveFile checkpoints the model atomically to path.
+func (m *Model) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.SaveParams(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a checkpoint written by SaveFile.
+func (m *Model) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.LoadParams(f)
+}

@@ -1,0 +1,97 @@
+package sample
+
+import (
+	"repro/internal/graph"
+)
+
+// SeedPlan assigns training seeds to parallel workers for one epoch.
+// GDP and NFP split a global shuffle evenly; SNP and DNP give each
+// worker the seeds inside its graph partition (paper §3.2: "each GPU
+// processes the seed nodes in its managing partition").
+type SeedPlan struct {
+	// PerWorker[w] lists the seed nodes worker w processes this epoch.
+	PerWorker [][]graph.NodeID
+}
+
+// NumBatches returns the number of synchronized mini-batch steps for
+// the given per-worker batch size: workers step together, so it is
+// driven by the largest per-worker seed list.
+func (p *SeedPlan) NumBatches(batchSize int) int {
+	maxLen := 0
+	for _, s := range p.PerWorker {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	return (maxLen + batchSize - 1) / batchSize
+}
+
+// Batch returns worker w's seeds for step i (may be empty near the end
+// of an epoch for workers with fewer seeds).
+func (p *SeedPlan) Batch(w, i, batchSize int) []graph.NodeID {
+	seeds := p.PerWorker[w]
+	lo := i * batchSize
+	if lo >= len(seeds) {
+		return nil
+	}
+	hi := lo + batchSize
+	if hi > len(seeds) {
+		hi = len(seeds)
+	}
+	return seeds[lo:hi]
+}
+
+// SplitEven shuffles seeds and deals them to workers in contiguous
+// chunks (the GDP/NFP seed assignment).
+func SplitEven(seeds []graph.NodeID, workers int, rng *graph.RNG) *SeedPlan {
+	shuffled := make([]graph.NodeID, len(seeds))
+	copy(shuffled, seeds)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	per := make([][]graph.NodeID, workers)
+	chunk := (len(shuffled) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo > len(shuffled) {
+			lo = len(shuffled)
+		}
+		hi := lo + chunk
+		if hi > len(shuffled) {
+			hi = len(shuffled)
+		}
+		per[w] = shuffled[lo:hi]
+	}
+	return &SeedPlan{PerWorker: per}
+}
+
+// SplitByOwner assigns each seed to its owning worker per the
+// partition assignment, shuffling within each worker (the SNP/DNP seed
+// assignment).
+func SplitByOwner(seeds []graph.NodeID, assign []int32, workers int, rng *graph.RNG) *SeedPlan {
+	per := make([][]graph.NodeID, workers)
+	for _, s := range seeds {
+		w := assign[s]
+		per[w] = append(per[w], s)
+	}
+	for w := range per {
+		ws := per[w]
+		rng.Shuffle(len(ws), func(i, j int) { ws[i], ws[j] = ws[j], ws[i] })
+	}
+	return &SeedPlan{PerWorker: per}
+}
+
+// CountLayer1SrcAccesses accumulates, into freq, how many times each
+// graph node appears as a layer-1 source across the given mini-batches,
+// counted with multiplicity (once per sampled edge, i.e. once per
+// appearance in a seed's sampled subgraph). This is the
+// access-frequency statistic the paper's dry-run collects for cache
+// configuration and Table 3.
+func CountLayer1SrcAccesses(freq []int64, batches ...*MiniBatch) {
+	for _, mb := range batches {
+		blk := mb.Layer1()
+		for _, si := range blk.SrcIdx {
+			freq[blk.Src[si]]++
+		}
+	}
+}

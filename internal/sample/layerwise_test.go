@@ -1,0 +1,105 @@
+package sample
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLayerWiseStructure(t *testing.T) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 500, AvgDegree: 8, Seed: 1})
+	s := NewSampler(g, Config{Fanouts: []int{5, 5}, Method: LayerWise}, graph.NewRNG(1))
+	seeds := []graph.NodeID{3, 77, 200, 444}
+	mb := s.Sample(seeds)
+	if err := mb.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Budget bound: layer adjacent to seeds samples at most 5*4 nodes
+	// (plus none from self-inclusion since it is off).
+	top := mb.Blocks[1]
+	if top.NumSrc() > 5*len(seeds) {
+		t.Errorf("layer-wise src count %d exceeds budget %d", top.NumSrc(), 5*len(seeds))
+	}
+}
+
+func TestLayerWiseEdgesAreTrueNeighbors(t *testing.T) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 300, AvgDegree: 6, Seed: 2})
+	s := NewSampler(g, Config{Fanouts: []int{4}, Method: LayerWise}, graph.NewRNG(3))
+	mb := s.Sample([]graph.NodeID{1, 2, 3})
+	blk := mb.Layer1()
+	for i, v := range blk.Dst {
+		truth := map[graph.NodeID]bool{}
+		for _, u := range g.Neighbors(v) {
+			truth[u] = true
+		}
+		for _, si := range blk.DstSources(i) {
+			if !truth[blk.Src[si]] {
+				t.Fatalf("layer-wise edge to non-neighbor %d of %d", blk.Src[si], v)
+			}
+		}
+	}
+}
+
+func TestLayerWiseSharesSources(t *testing.T) {
+	// Layer-wise sampling's point: destinations share one sampled node
+	// set, so the union is bounded even with many destinations.
+	g := graph.ErdosRenyi(graph.GenerateConfig{NumNodes: 2000, AvgDegree: 20, Seed: 4})
+	seeds := make([]graph.NodeID, 100)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i * 17)
+	}
+	lw := NewSampler(g, Config{Fanouts: []int{4}, Method: LayerWise}, graph.NewRNG(5)).Sample(seeds)
+	if got := lw.Layer1().NumSrc(); got > 4*len(seeds) {
+		t.Errorf("layer-wise src %d exceeds budget %d", got, 4*len(seeds))
+	}
+	// Shared sources mean each sampled node serves several
+	// destinations: edges well exceed the source count.
+	if lw.Layer1().NumEdges() < int64(lw.Layer1().NumSrc())*3/2 {
+		t.Errorf("layer-wise sampled nodes are not shared: %d edges over %d srcs",
+			lw.Layer1().NumEdges(), lw.Layer1().NumSrc())
+	}
+}
+
+func TestLayerWiseWithDstInSrc(t *testing.T) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 200, AvgDegree: 6, Seed: 6})
+	s := NewSampler(g, Config{Fanouts: []int{3, 3}, Method: LayerWise, IncludeDstInSrc: true}, graph.NewRNG(7))
+	mb := s.Sample([]graph.NodeID{10, 20})
+	for _, b := range mb.Blocks {
+		for i, v := range b.Dst {
+			if b.Src[i] != v {
+				t.Fatal("dst-first ordering violated under layer-wise sampling")
+			}
+		}
+	}
+	if err := mb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerWiseEmptySeeds(t *testing.T) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 100, AvgDegree: 4, Seed: 8})
+	s := NewSampler(g, Config{Fanouts: []int{3}, Method: LayerWise}, graph.NewRNG(9))
+	mb := s.Sample(nil)
+	if err := mb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mb.Layer1().NumEdges() != 0 {
+		t.Error("empty seeds produced edges")
+	}
+}
+
+func TestFullMethodDeterministicAndComplete(t *testing.T) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 150, AvgDegree: 6, Seed: 11})
+	a := NewSampler(g, Config{Fanouts: []int{1, 1}, Method: Full}, graph.NewRNG(1)).Sample([]graph.NodeID{3, 7})
+	b := NewSampler(g, Config{Fanouts: []int{1, 1}, Method: Full}, graph.NewRNG(99)).Sample([]graph.NodeID{3, 7})
+	la, lb := a.Layer1(), b.Layer1()
+	if la.NumEdges() != lb.NumEdges() {
+		t.Fatal("full sampling not deterministic across RNG seeds")
+	}
+	top := a.Blocks[1]
+	for i, v := range top.Dst {
+		if top.DstDegree(i) != g.Degree(v) {
+			t.Errorf("full sampling dropped neighbors of %d: %d vs %d", v, top.DstDegree(i), g.Degree(v))
+		}
+	}
+}

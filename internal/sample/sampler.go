@@ -1,0 +1,208 @@
+package sample
+
+import (
+	"repro/internal/graph"
+)
+
+// Method selects the graph-sampling algorithm. APT treats sampling as
+// a black box (paper §4.1): any method producing bipartite blocks
+// works with every parallelization strategy.
+type Method int
+
+// Sampling methods.
+const (
+	// NodeWise samples up to Fanouts[i] neighbors per destination
+	// (GraphSAGE-style; the paper's default, Figure 2).
+	NodeWise Method = iota
+	// LayerWise samples a per-layer budget of Fanouts[i] x |dst| nodes
+	// from the union of the destinations' neighbors, with probability
+	// proportional to degree (a simplified FastGCN/LADIES scheme), and
+	// keeps all edges into the sampled set.
+	LayerWise
+	// Full takes every neighbor (no sampling); Fanouts still sets the
+	// number of layers. Deterministic — useful for evaluation and
+	// exact-equivalence tests.
+	Full
+)
+
+// Config configures graph sampling.
+type Config struct {
+	// Fanouts lists per-layer neighbor sample counts ordered from the
+	// seed layer downward, matching the paper's notation: [10, 5] means
+	// the layer adjacent to the seeds samples 10 neighbors and the next
+	// (the first layer of computation) samples 5. Under LayerWise the
+	// per-layer node budget is Fanouts[i] x |dst|.
+	//
+	// Internally blocks are produced bottom-up, so Fanouts is consumed
+	// in reverse.
+	Fanouts []int
+	// Method selects the sampling algorithm.
+	Method Method
+	// IncludeDstInSrc adds every destination node to its block's source
+	// list (self-inclusion). Required by attention models (GAT needs
+	// the destination's own projection); plain GraphSAGE per the
+	// paper's Eq. (1) leaves it off.
+	IncludeDstInSrc bool
+}
+
+// Layers returns the model depth implied by the fanout vector.
+func (c Config) Layers() int { return len(c.Fanouts) }
+
+// Sampler draws sampled subgraphs from a data graph. A Sampler is not
+// safe for concurrent use; create one per worker with rng.Split().
+type Sampler struct {
+	g   *graph.Graph
+	cfg Config
+	rng *graph.RNG
+
+	// scratch for dedup: node -> position in current src list.
+	stamp []int32
+	epoch int32
+	picks []graph.NodeID
+}
+
+// NewSampler creates a sampler over g.
+func NewSampler(g *graph.Graph, cfg Config, rng *graph.RNG) *Sampler {
+	s := &Sampler{
+		g:     g,
+		cfg:   cfg,
+		rng:   rng,
+		stamp: make([]int32, g.NumNodes()),
+	}
+	for i := range s.stamp {
+		s.stamp[i] = -1
+	}
+	return s
+}
+
+// Sample builds the mini-batch computation graph for the given seeds.
+func (s *Sampler) Sample(seeds []graph.NodeID) *MiniBatch {
+	L := len(s.cfg.Fanouts)
+	blocks := make([]*Block, L)
+	dst := seeds
+	for l := L - 1; l >= 0; l-- {
+		fanout := s.cfg.Fanouts[L-1-l]
+		var b *Block
+		switch s.cfg.Method {
+		case LayerWise:
+			b = s.sampleLayerWise(dst, fanout*len(dst))
+		case Full:
+			b = s.sampleLayer(dst, int(^uint(0)>>1))
+		default:
+			b = s.sampleLayer(dst, fanout)
+		}
+		blocks[l] = b
+		dst = b.Src
+	}
+	return &MiniBatch{Seeds: seeds, Blocks: blocks}
+}
+
+// sampleLayerWise draws up to `budget` nodes from the union of the
+// destinations' neighborhoods, with probability proportional to each
+// candidate's multiplicity in that union (a degree-weighted FastGCN
+// scheme), then connects every destination to its sampled neighbors.
+func (s *Sampler) sampleLayerWise(dst []graph.NodeID, budget int) *Block {
+	b := &Block{Dst: dst, EdgePtr: make([]int64, len(dst)+1)}
+	// Candidate pool with multiplicity = how many destinations list u.
+	pool := make([]graph.NodeID, 0, budget*2)
+	for _, v := range dst {
+		pool = append(pool, s.g.Neighbors(v)...)
+	}
+	pos := make(map[graph.NodeID]int32, budget*2)
+	addSrc := func(u graph.NodeID) int32 {
+		if p, ok := pos[u]; ok {
+			return p
+		}
+		p := int32(len(b.Src))
+		b.Src = append(b.Src, u)
+		pos[u] = p
+		return p
+	}
+	if s.cfg.IncludeDstInSrc {
+		for _, v := range dst {
+			addSrc(v)
+		}
+	}
+	// Sample the pool by index; drawing uniform indices of the
+	// multiplicity-weighted pool samples nodes with probability
+	// proportional to their in-union degree.
+	chosen := make(map[graph.NodeID]struct{}, budget)
+	if len(pool) <= budget {
+		for _, u := range pool {
+			chosen[u] = struct{}{}
+		}
+	} else {
+		for tries := 0; len(chosen) < budget && tries < budget*4; tries++ {
+			chosen[pool[s.rng.Intn(len(pool))]] = struct{}{}
+		}
+	}
+	for i, v := range dst {
+		for _, u := range s.g.Neighbors(v) {
+			if _, ok := chosen[u]; ok {
+				b.SrcIdx = append(b.SrcIdx, addSrc(u))
+			}
+		}
+		b.EdgePtr[i+1] = int64(len(b.SrcIdx))
+	}
+	return b
+}
+
+// sampleLayer samples up to fanout neighbors (without replacement) for
+// each destination and assembles the bipartite block.
+func (s *Sampler) sampleLayer(dst []graph.NodeID, fanout int) *Block {
+	b := &Block{
+		Dst:     dst,
+		EdgePtr: make([]int64, len(dst)+1),
+	}
+	// Position map: src node -> index in b.Src, built with a stamped
+	// scratch array (O(1) reset between layers).
+	pos := make(map[graph.NodeID]int32, len(dst)*2)
+	addSrc := func(u graph.NodeID) int32 {
+		if p, ok := pos[u]; ok {
+			return p
+		}
+		p := int32(len(b.Src))
+		b.Src = append(b.Src, u)
+		pos[u] = p
+		return p
+	}
+	if s.cfg.IncludeDstInSrc {
+		for _, v := range dst {
+			addSrc(v)
+		}
+	}
+	for i, v := range dst {
+		picks := s.pickNeighbors(v, fanout)
+		for _, u := range picks {
+			b.SrcIdx = append(b.SrcIdx, addSrc(u))
+		}
+		b.EdgePtr[i+1] = int64(len(b.SrcIdx))
+	}
+	return b
+}
+
+// pickNeighbors samples min(fanout, degree) distinct neighbors of v.
+// The returned slice is scratch owned by the sampler.
+func (s *Sampler) pickNeighbors(v graph.NodeID, fanout int) []graph.NodeID {
+	nb := s.g.Neighbors(v)
+	d := len(nb)
+	s.picks = s.picks[:0]
+	if d <= fanout {
+		s.picks = append(s.picks, nb...)
+		return s.picks
+	}
+	// Floyd's algorithm for sampling fanout distinct indices from [0,d).
+	s.epoch++
+	chosen := s.picks
+	for j := d - fanout; j < d; j++ {
+		t := s.rng.Intn(j + 1)
+		u := nb[t]
+		if s.stamp[u] == s.epoch {
+			u = nb[j]
+		}
+		s.stamp[u] = s.epoch
+		chosen = append(chosen, u)
+	}
+	s.picks = chosen
+	return s.picks
+}

@@ -1,0 +1,25 @@
+package strategy_test
+
+import (
+	"fmt"
+
+	"repro/internal/strategy"
+)
+
+// The strategies APT selects among, and which need a graph partition.
+func Example() {
+	for _, k := range strategy.Core {
+		fmt.Printf("%v partition=%v\n", k, k.NeedsPartition())
+	}
+	// Output:
+	// GDP partition=false
+	// NFP partition=false
+	// SNP partition=true
+	// DNP partition=true
+}
+
+func ExampleParse() {
+	k, _ := strategy.Parse("dnp")
+	fmt.Println(k)
+	// Output: DNP
+}

@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelRows runs fn over row ranges [lo, hi) on up to GOMAXPROCS
+// goroutines. Small matrices run inline to avoid goroutine overhead.
+func parallelRows(rows int, minRowsPerTask int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if rows < 2*minRowsPerTask || workers == 1 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows/minRowsPerTask {
+		workers = rows / minRowsPerTask
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= rows {
+			break
+		}
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a @ b (a: m x k, b: k x n).
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	out := New(a.Rows, b.Cols)
+	n := b.Cols
+	parallelRows(a.Rows, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for kk, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Data[kk*n : kk*n+n]
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a @ bᵀ (a: m x k, b: n x k).
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: MatMulT inner dimension mismatch")
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				br := b.Row(j)
+				var s float32
+				for kk := range ar {
+					s += ar[kk] * br[kk]
+				}
+				or[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ @ b (a: k x m, b: k x n); used for weight
+// gradients (Xᵀ @ dY).
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: TMatMul outer dimension mismatch")
+	}
+	out := New(a.Cols, b.Cols)
+	// Parallelize over the k dimension with per-worker accumulators to
+	// avoid write contention on the (small) output.
+	workers := runtime.GOMAXPROCS(0)
+	if a.Rows < 64 || workers == 1 {
+		tmatmulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	partials := make([]*Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= a.Rows {
+			break
+		}
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		partials[w] = New(a.Cols, b.Cols)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			tmatmulRange(a, b, partials[w], lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p != nil {
+			out.AddInPlace(p)
+		}
+	}
+	return out
+}
+
+func tmatmulRange(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for kk := lo; kk < hi; kk++ {
+		ar := a.Row(kk)
+		br := b.Row(kk)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Data[i*n : i*n+n]
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package tensor
+
+import "math"
+
+// Segment kernels operate on a CSR edge structure (edgePtr over
+// destinations, srcIdx into the source-row matrix) — the dense-sparse
+// products of the paper's Figure 5 tensor abstraction.
+
+// SegmentSum computes out[i] = Σ_{e in segment i} src[srcIdx[e]] — the
+// SpMM forward with sum aggregation.
+func SegmentSum(edgePtr []int64, srcIdx []int32, src *Matrix) *Matrix {
+	nDst := len(edgePtr) - 1
+	out := New(nDst, src.Cols)
+	parallelRows(nDst, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			or := out.Row(i)
+			for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
+				sr := src.Row(int(srcIdx[e]))
+				for j := range or {
+					or[j] += sr[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SegmentSumBackward scatters dOut back to source rows:
+// dSrc[srcIdx[e]] += dOut[i] for each edge e of destination i.
+func SegmentSumBackward(edgePtr []int64, srcIdx []int32, dOut *Matrix, nSrc int) *Matrix {
+	dSrc := New(nSrc, dOut.Cols)
+	// Sequential over destinations: multiple destinations may share a
+	// source row, so a naive parallel scatter would race.
+	for i := 0; i < dOut.Rows; i++ {
+		dr := dOut.Row(i)
+		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
+			sr := dSrc.Row(int(srcIdx[e]))
+			for j := range dr {
+				sr[j] += dr[j]
+			}
+		}
+	}
+	return dSrc
+}
+
+// SegmentMean computes out[i] = mean over segment i (zero for empty
+// segments) — GraphSAGE's mean aggregation.
+func SegmentMean(edgePtr []int64, srcIdx []int32, src *Matrix) *Matrix {
+	out := SegmentSum(edgePtr, srcIdx, src)
+	for i := 0; i < out.Rows; i++ {
+		d := edgePtr[i+1] - edgePtr[i]
+		if d > 1 {
+			inv := float32(1.0 / float64(d))
+			or := out.Row(i)
+			for j := range or {
+				or[j] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMeanBackward is the backward of SegmentMean.
+func SegmentMeanBackward(edgePtr []int64, srcIdx []int32, dOut *Matrix, nSrc int) *Matrix {
+	scaled := dOut.Clone()
+	for i := 0; i < scaled.Rows; i++ {
+		d := edgePtr[i+1] - edgePtr[i]
+		if d > 1 {
+			inv := float32(1.0 / float64(d))
+			sr := scaled.Row(i)
+			for j := range sr {
+				sr[j] *= inv
+			}
+		}
+	}
+	return SegmentSumBackward(edgePtr, srcIdx, scaled, nSrc)
+}
+
+// SegmentWeightedSum computes out[i] = Σ_e w[e] * src[srcIdx[e]] — the
+// attention-weighted aggregation of GAT.
+func SegmentWeightedSum(edgePtr []int64, srcIdx []int32, w []float32, src *Matrix) *Matrix {
+	nDst := len(edgePtr) - 1
+	out := New(nDst, src.Cols)
+	parallelRows(nDst, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			or := out.Row(i)
+			for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
+				sr := src.Row(int(srcIdx[e]))
+				we := w[e]
+				for j := range or {
+					or[j] += we * sr[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SegmentWeightedSumBackward returns (dSrc, dW) for SegmentWeightedSum.
+func SegmentWeightedSumBackward(edgePtr []int64, srcIdx []int32, w []float32, src, dOut *Matrix) (*Matrix, []float32) {
+	dSrc := New(src.Rows, src.Cols)
+	dW := make([]float32, len(w))
+	for i := 0; i < dOut.Rows; i++ {
+		dr := dOut.Row(i)
+		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
+			si := int(srcIdx[e])
+			sr := src.Row(si)
+			ds := dSrc.Row(si)
+			we := w[e]
+			var dot float32
+			for j := range dr {
+				ds[j] += we * dr[j]
+				dot += sr[j] * dr[j]
+			}
+			dW[e] = dot
+		}
+	}
+	return dSrc, dW
+}
+
+// SDDMMAdd computes per-edge scores score[e] = dstVal[i] + srcVal[srcIdx[e]]
+// for each edge e of destination i — the additive attention logits of GAT
+// (a_l·Wh_v + a_r·Wh_u).
+func SDDMMAdd(edgePtr []int64, srcIdx []int32, dstVal, srcVal []float32) []float32 {
+	out := make([]float32, edgePtr[len(edgePtr)-1])
+	for i := 0; i+1 < len(edgePtr); i++ {
+		dv := dstVal[i]
+		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
+			out[e] = dv + srcVal[srcIdx[e]]
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax normalizes scores within each destination's segment.
+// Numerically stabilized by the per-segment max.
+func SegmentSoftmax(edgePtr []int64, scores []float32) []float32 {
+	out := make([]float32, len(scores))
+	for i := 0; i+1 < len(edgePtr); i++ {
+		lo, hi := edgePtr[i], edgePtr[i+1]
+		if lo == hi {
+			continue
+		}
+		mx := scores[lo]
+		for e := lo + 1; e < hi; e++ {
+			if scores[e] > mx {
+				mx = scores[e]
+			}
+		}
+		var sum float64
+		for e := lo; e < hi; e++ {
+			v := math.Exp(float64(scores[e] - mx))
+			out[e] = float32(v)
+			sum += v
+		}
+		inv := float32(1 / sum)
+		for e := lo; e < hi; e++ {
+			out[e] *= inv
+		}
+	}
+	return out
+}
+
+// SegmentSoftmaxBackward computes dScores given the softmax output and
+// dOut (gradient w.r.t. the softmax probabilities):
+// dScore[e] = p[e] * (dOut[e] - Σ_f p[f] dOut[f]).
+func SegmentSoftmaxBackward(edgePtr []int64, probs, dOut []float32) []float32 {
+	dScores := make([]float32, len(probs))
+	for i := 0; i+1 < len(edgePtr); i++ {
+		lo, hi := edgePtr[i], edgePtr[i+1]
+		var dot float64
+		for e := lo; e < hi; e++ {
+			dot += float64(probs[e]) * float64(dOut[e])
+		}
+		for e := lo; e < hi; e++ {
+			dScores[e] = probs[e] * (dOut[e] - float32(dot))
+		}
+	}
+	return dScores
+}
+
+// ReLU applies max(0, x) elementwise, returning a new matrix.
+func ReLU(x *Matrix) *Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ReLUBackward masks dOut by the forward output's support.
+func ReLUBackward(out, dOut *Matrix) *Matrix {
+	d := dOut.Clone()
+	for i, v := range out.Data {
+		if v <= 0 {
+			d.Data[i] = 0
+		}
+	}
+	return d
+}
+
+// LeakyReLUSlice applies LeakyReLU with the given negative slope to a
+// score vector (GAT's activation on attention logits).
+func LeakyReLUSlice(x []float32, slope float32) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			out[i] = v
+		} else {
+			out[i] = slope * v
+		}
+	}
+	return out
+}
+
+// LeakyReLUSliceBackward masks gradients by the input sign.
+func LeakyReLUSliceBackward(x, dOut []float32, slope float32) []float32 {
+	d := make([]float32, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			d[i] = dOut[i]
+		} else {
+			d[i] = slope * dOut[i]
+		}
+	}
+	return d
+}

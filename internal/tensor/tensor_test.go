@@ -1,0 +1,367 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomMatrix(rows, cols int, rng *graph.RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat32()
+	}
+	return m
+}
+
+// naiveMatMul is the O(n^3) reference implementation.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func matricesClose(t *testing.T, name string, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if d := got.MaxAbsDiff(want); d > tol {
+		t.Errorf("%s: max abs diff %g > %g", name, d, tol)
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := graph.NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 32, 48}, {100, 7, 3}} {
+		a := randomMatrix(dims[0], dims[1], rng)
+		b := randomMatrix(dims[1], dims[2], rng)
+		matricesClose(t, "MatMul", MatMul(a, b), naiveMatMul(a, b), 1e-3)
+	}
+}
+
+func TestMatMulTEquivalence(t *testing.T) {
+	rng := graph.NewRNG(2)
+	a := randomMatrix(13, 7, rng)
+	b := randomMatrix(11, 7, rng)
+	// a @ bT == naive(a, transpose(b))
+	bt := New(b.Cols, b.Rows)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	matricesClose(t, "MatMulT", MatMulT(a, b), naiveMatMul(a, bt), 1e-3)
+}
+
+func TestTMatMulEquivalence(t *testing.T) {
+	rng := graph.NewRNG(3)
+	a := randomMatrix(150, 6, rng) // tall enough to trigger parallel path
+	b := randomMatrix(150, 9, rng)
+	at := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	matricesClose(t, "TMatMul", TMatMul(a, b), naiveMatMul(at, b), 1e-3)
+}
+
+func TestMatMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul accepted mismatched shapes")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5))
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	rng := graph.NewRNG(4)
+	src := randomMatrix(10, 5, rng)
+	idx := []int32{3, 3, 7, 0}
+	g := Gather(src, idx)
+	for i, r := range idx {
+		for j := 0; j < 5; j++ {
+			if g.At(i, j) != src.At(int(r), j) {
+				t.Fatalf("gather mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	dst := New(10, 5)
+	ScatterAdd(dst, idx, g)
+	// Row 3 was gathered twice, so scatter doubles it.
+	for j := 0; j < 5; j++ {
+		if math.Abs(float64(dst.At(3, j)-2*src.At(3, j))) > 1e-6 {
+			t.Errorf("scatter double-count wrong at col %d", j)
+		}
+		if dst.At(1, j) != 0 {
+			t.Errorf("untouched row modified")
+		}
+	}
+}
+
+// simple block CSR: 3 destinations, 4 sources.
+//
+//	dst0 <- src0, src1
+//	dst1 <- (empty)
+//	dst2 <- src1, src2, src3
+var (
+	tEdgePtr = []int64{0, 2, 2, 5}
+	tSrcIdx  = []int32{0, 1, 1, 2, 3}
+)
+
+func TestSegmentSumAndMean(t *testing.T) {
+	src := FromData(4, 2, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	sum := SegmentSum(tEdgePtr, tSrcIdx, src)
+	want := FromData(3, 2, []float32{4, 6, 0, 0, 15, 18})
+	matricesClose(t, "SegmentSum", sum, want, 1e-6)
+
+	mean := SegmentMean(tEdgePtr, tSrcIdx, src)
+	wantMean := FromData(3, 2, []float32{2, 3, 0, 0, 5, 6})
+	matricesClose(t, "SegmentMean", mean, wantMean, 1e-6)
+}
+
+func TestSegmentSumBackwardMatchesNumerical(t *testing.T) {
+	rng := graph.NewRNG(5)
+	src := randomMatrix(4, 3, rng)
+	dOut := randomMatrix(3, 3, rng)
+	dSrc := SegmentSumBackward(tEdgePtr, tSrcIdx, dOut, 4)
+	// Numerical check: d/dsrc[r][c] of <out, dOut> equals dSrc[r][c].
+	const eps = 1e-3
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			orig := src.At(r, c)
+			src.Set(r, c, orig+eps)
+			up := inner(SegmentSum(tEdgePtr, tSrcIdx, src), dOut)
+			src.Set(r, c, orig-eps)
+			down := inner(SegmentSum(tEdgePtr, tSrcIdx, src), dOut)
+			src.Set(r, c, orig)
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-float64(dSrc.At(r, c))) > 1e-2 {
+				t.Errorf("dSrc[%d][%d] = %v, numerical %v", r, c, dSrc.At(r, c), num)
+			}
+		}
+	}
+}
+
+func TestSegmentMeanBackwardMatchesNumerical(t *testing.T) {
+	rng := graph.NewRNG(6)
+	src := randomMatrix(4, 2, rng)
+	dOut := randomMatrix(3, 2, rng)
+	dSrc := SegmentMeanBackward(tEdgePtr, tSrcIdx, dOut, 4)
+	const eps = 1e-3
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 2; c++ {
+			orig := src.At(r, c)
+			src.Set(r, c, orig+eps)
+			up := inner(SegmentMean(tEdgePtr, tSrcIdx, src), dOut)
+			src.Set(r, c, orig-eps)
+			down := inner(SegmentMean(tEdgePtr, tSrcIdx, src), dOut)
+			src.Set(r, c, orig)
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-float64(dSrc.At(r, c))) > 1e-2 {
+				t.Errorf("dSrc[%d][%d] = %v, numerical %v", r, c, dSrc.At(r, c), num)
+			}
+		}
+	}
+}
+
+func inner(a, b *Matrix) float64 {
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+func TestSegmentSoftmaxNormalizes(t *testing.T) {
+	scores := []float32{1, 2, 0.5, -1, 3}
+	p := SegmentSoftmax(tEdgePtr, scores)
+	for i := 0; i+1 < len(tEdgePtr); i++ {
+		lo, hi := tEdgePtr[i], tEdgePtr[i+1]
+		if lo == hi {
+			continue
+		}
+		var sum float64
+		for e := lo; e < hi; e++ {
+			if p[e] < 0 || p[e] > 1 {
+				t.Errorf("prob out of range: %v", p[e])
+			}
+			sum += float64(p[e])
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("segment %d probs sum to %v", i, sum)
+		}
+	}
+}
+
+func TestSegmentSoftmaxStability(t *testing.T) {
+	scores := []float32{1000, 1001, 0, 0, 0}
+	p := SegmentSoftmax(tEdgePtr, scores)
+	for _, v := range p {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax produced %v on large inputs", v)
+		}
+	}
+}
+
+func TestSegmentSoftmaxBackwardNumerical(t *testing.T) {
+	scores := []float32{0.3, -0.7, 1.2, 0.1, -0.2}
+	dOut := []float32{1, -2, 0.5, 3, -1}
+	probs := SegmentSoftmax(tEdgePtr, scores)
+	dScores := SegmentSoftmaxBackward(tEdgePtr, probs, dOut)
+	const eps = 1e-3
+	for e := range scores {
+		orig := scores[e]
+		scores[e] = orig + eps
+		up := sdot(SegmentSoftmax(tEdgePtr, scores), dOut)
+		scores[e] = orig - eps
+		down := sdot(SegmentSoftmax(tEdgePtr, scores), dOut)
+		scores[e] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-float64(dScores[e])) > 1e-2 {
+			t.Errorf("dScores[%d] = %v, numerical %v", e, dScores[e], num)
+		}
+	}
+}
+
+func sdot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func TestSegmentWeightedSumBackwardNumerical(t *testing.T) {
+	rng := graph.NewRNG(7)
+	src := randomMatrix(4, 2, rng)
+	w := []float32{0.5, -1, 2, 0.1, 1.5}
+	dOut := randomMatrix(3, 2, rng)
+	dSrc, dW := SegmentWeightedSumBackward(tEdgePtr, tSrcIdx, w, src, dOut)
+	const eps = 1e-3
+	for e := range w {
+		orig := w[e]
+		w[e] = orig + eps
+		up := inner(SegmentWeightedSum(tEdgePtr, tSrcIdx, w, src), dOut)
+		w[e] = orig - eps
+		down := inner(SegmentWeightedSum(tEdgePtr, tSrcIdx, w, src), dOut)
+		w[e] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-float64(dW[e])) > 1e-2 {
+			t.Errorf("dW[%d] = %v, numerical %v", e, dW[e], num)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 2; c++ {
+			orig := src.At(r, c)
+			src.Set(r, c, orig+eps)
+			up := inner(SegmentWeightedSum(tEdgePtr, tSrcIdx, w, src), dOut)
+			src.Set(r, c, orig-eps)
+			down := inner(SegmentWeightedSum(tEdgePtr, tSrcIdx, w, src), dOut)
+			src.Set(r, c, orig)
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-float64(dSrc.At(r, c))) > 1e-2 {
+				t.Errorf("dSrc[%d][%d] = %v, numerical %v", r, c, dSrc.At(r, c), num)
+			}
+		}
+	}
+}
+
+func TestSDDMMAdd(t *testing.T) {
+	dstVal := []float32{10, 20, 30}
+	srcVal := []float32{1, 2, 3, 4}
+	s := SDDMMAdd(tEdgePtr, tSrcIdx, dstVal, srcVal)
+	want := []float32{11, 12, 32, 33, 34}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("score[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestReLUAndBackward(t *testing.T) {
+	x := FromData(1, 4, []float32{-1, 0, 2, -3})
+	y := ReLU(x)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Errorf("ReLU[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+	d := ReLUBackward(y, FromData(1, 4, []float32{5, 5, 5, 5}))
+	wantD := []float32{0, 0, 5, 0}
+	for i := range wantD {
+		if d.Data[i] != wantD[i] {
+			t.Errorf("dReLU[%d] = %v, want %v", i, d.Data[i], wantD[i])
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	x := []float32{-2, 3}
+	y := LeakyReLUSlice(x, 0.2)
+	if y[0] != -0.4 || y[1] != 3 {
+		t.Errorf("LeakyReLU = %v", y)
+	}
+	d := LeakyReLUSliceBackward(x, []float32{1, 1}, 0.2)
+	if d[0] != 0.2 || d[1] != 1 {
+		t.Errorf("LeakyReLU backward = %v", d)
+	}
+}
+
+func TestMatMulLinearityProperty(t *testing.T) {
+	rng := graph.NewRNG(8)
+	f := func(seed uint64) bool {
+		r := graph.NewRNG(seed)
+		a := randomMatrix(6, 4, r)
+		b := randomMatrix(4, 5, r)
+		c := randomMatrix(4, 5, r)
+		// A(B+C) == AB + AC
+		bc := b.Clone()
+		bc.AddInPlace(c)
+		left := MatMul(a, bc)
+		right := MatMul(a, b)
+		right.AddInPlace(MatMul(a, c))
+		return left.MaxAbsDiff(right) < 1e-4
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := FromData(2, 2, []float32{1, 2, 3, 4})
+	if m.Bytes() != 16 {
+		t.Errorf("Bytes = %d, want 16", m.Bytes())
+	}
+	c := m.Clone()
+	c.ScaleInPlace(2)
+	if m.At(0, 0) != 1 || c.At(0, 0) != 2 {
+		t.Error("Clone aliases original")
+	}
+	c.SubInPlace(m)
+	if c.MaxAbsDiff(m) > 1e-6 {
+		t.Error("2m - m != m")
+	}
+	m.AXPY(3, c)
+	if m.At(1, 1) != 16 {
+		t.Errorf("AXPY result %v, want 16", m.At(1, 1))
+	}
+	m.Zero()
+	if m.FrobeniusNorm() != 0 {
+		t.Error("Zero left nonzero norm")
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBars(t *testing.T) {
+	rows := []Row{
+		{Label: "GDP", Marked: true, Segments: []Seg{{"sampling", 1}, {"loading", 2}, {"training", 1}}},
+		{Label: "SNP", Segments: []Seg{{"sampling", 2}, {"loading", 0.5}, {"training", 1.5}}, Note: "[OOM]"},
+	}
+	out := RenderBars("title", rows)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* GDP") {
+		t.Error("missing star on marked row")
+	}
+	if !strings.Contains(out, "[OOM]") {
+		t.Error("missing note")
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "4.0000s") {
+		t.Error("missing total")
+	}
+	// The largest row should reach close to full width.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Error("missing bar glyphs")
+	}
+}
+
+func TestRenderBarsEmpty(t *testing.T) {
+	if out := RenderBars("t", nil); !strings.Contains(out, "t") {
+		t.Error("empty rows should still render title")
+	}
+}
+
+func TestRowTotal(t *testing.T) {
+	r := Row{Segments: []Seg{{"a", 1.5}, {"b", 2.5}}}
+	if r.Total() != 4 {
+		t.Errorf("Total = %v", r.Total())
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable("tbl", []string{"col1", "verylongheader"}, [][]string{
+		{"a", "b"},
+		{"ccccssss", "d"},
+	})
+	if !strings.Contains(out, "tbl") || !strings.Contains(out, "verylongheader") {
+		t.Error("missing title or headers")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Alignment: all data lines should have the same column start.
+	if !strings.Contains(out, "ccccssss") {
+		t.Error("missing cell")
+	}
+}
+
+func TestRenderTableNoTitle(t *testing.T) {
+	out := RenderTable("", []string{"x"}, [][]string{{"1"}})
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading newline with empty title")
+	}
+}
