@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: vet + build everything, then run the
+# concurrency-heavy packages (pipelined engine, pooled kernels) under
+# the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/engine/... ./internal/tensor/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -8,11 +8,16 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/sample"
+	"repro/internal/strategy"
 	"repro/internal/tensor"
 )
 
@@ -132,9 +137,11 @@ func BenchmarkMatMul128(b *testing.B) {
 		w.Data[i] = rng.NormFloat32()
 	}
 	b.SetBytes(int64(1024 * 128 * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = tensor.MatMul(x, w)
+		m := tensor.MatMul(x, w)
+		tensor.Put(m)
 	}
 }
 
@@ -148,9 +155,11 @@ func BenchmarkSegmentMean(b *testing.B) {
 	mb := s.Sample(seeds)
 	blk := mb.Layer1()
 	x := tensor.New(blk.NumSrc(), 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, x)
+		m := tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, x)
+		tensor.Put(m)
 	}
 }
 
@@ -161,9 +170,75 @@ func BenchmarkNeighborSampling(b *testing.B) {
 	for i := range seeds {
 		seeds[i] = graph.NodeID(i * 11)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Sample(seeds)
+	}
+}
+
+// benchEpochEngine assembles a small real-mode GDP training run for the
+// sequential-vs-pipelined epoch benchmarks.
+func benchEpochEngine(b *testing.B, pipeline bool) *engine.Engine {
+	b.Helper()
+	const (
+		nodes   = 4000
+		dim     = 16
+		classes = 4
+		devices = 4
+	)
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: nodes, AvgDegree: 12, Seed: 3})
+	rng := graph.NewRNG(17)
+	feats := tensor.New(nodes, dim)
+	for i := range feats.Data {
+		feats.Data[i] = rng.NormFloat32()
+	}
+	labels := make([]int32, nodes)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(classes))
+	}
+	seeds := make([]graph.NodeID, 0, nodes/2)
+	for v := 0; v < nodes; v += 2 {
+		seeds = append(seeds, graph.NodeID(v))
+	}
+	p := hardware.WithDevices(hardware.SingleMachine8GPU(), 1, devices)
+	store := cache.NewStore(p, nodes, dim, feats)
+	store.HostByRange()
+	eng, err := engine.New(engine.Config{
+		Platform:  p,
+		Graph:     g,
+		Store:     store,
+		NewModel:  func() *nn.Model { return nn.NewGraphSAGE(dim, 32, classes, 2) },
+		Labels:    labels,
+		Seeds:     seeds,
+		Sampling:  sample.Config{Fanouts: []int{10, 10}},
+		BatchSize: 64,
+		Kind:      strategy.GDP,
+		Mode:      engine.Real,
+		Seed:      7,
+		Pipeline:  pipeline,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkEpochSequential(b *testing.B) {
+	eng := benchEpochEngine(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.RunEpoch()
+	}
+}
+
+func BenchmarkEpochPipelined(b *testing.B) {
+	eng := benchEpochEngine(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.RunEpoch()
 	}
 }
 

@@ -158,7 +158,7 @@ func (c *Comm) AllReduce(dev int, stage string, mat *tensor.Matrix, bytes int64)
 	var result *tensor.Matrix
 	if mat != nil {
 		parts := c.AllGatherNoCharge(dev, Payload{Mat: mat})
-		result = tensor.New(mat.Rows, mat.Cols)
+		result = tensor.Get(mat.Rows, mat.Cols)
 		for j := 0; j < c.n; j++ {
 			result.AddInPlace(parts[j].Mat)
 		}

@@ -188,6 +188,8 @@ func (a *APT) engineConfig(k strategy.Kind, store *cache.Store, mode engine.Mode
 		Mode:           mode,
 		Seed:           t.Seed,
 		RecordTimeline: t.RecordTimeline,
+		Pipeline:       t.Pipeline,
+		PipelineDepth:  t.PipelineDepth,
 	}
 	if mode == engine.Real {
 		cfg.Labels = t.Labels

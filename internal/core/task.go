@@ -76,6 +76,13 @@ type Task struct {
 	// RecordTimeline captures per-step stage times in every epoch's
 	// statistics (engine.EpochStats.Timeline).
 	RecordTimeline bool
+	// Pipeline runs training epochs with per-worker sampling prefetch
+	// overlapped against compute (engine.Config.Pipeline); epoch stats
+	// then carry the measured overlapped time.
+	Pipeline bool
+	// PipelineDepth bounds the prefetch queue (<=0 uses the engine
+	// default).
+	PipelineDepth int
 	// Seed drives all randomness.
 	Seed uint64
 }

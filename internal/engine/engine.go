@@ -85,6 +85,17 @@ type Config struct {
 	// RecordTimeline captures per-step stage times into
 	// EpochStats.Timeline (small overhead; off by default).
 	RecordTimeline bool
+	// Pipeline overlaps each worker's sampling with its compute: a
+	// per-worker prefetch goroutine samples mini-batch t+1 while batch t
+	// computes, bounded by a channel of depth PipelineDepth. Real mode
+	// trains bit-identically to the synchronous path (the prefetcher
+	// preserves the sampler's RNG stream order); both modes additionally
+	// track the overlapped schedule on the simulated clocks and report
+	// it as EpochStats.MeasuredPipelinedSec.
+	Pipeline bool
+	// PipelineDepth bounds how many sampled batches may wait ahead of
+	// compute (<=0 selects the default of 2).
+	PipelineDepth int
 }
 
 // Engine executes GNN training under one strategy.
@@ -118,6 +129,10 @@ type worker struct {
 	opt      nn.Optimizer
 	stats    *WorkerStats
 	timeline []StepTrace
+	// pipelinedSec is the worker's simulated finish time under the
+	// overlapped schedule (pipelined mode only); kept off WorkerStats so
+	// aggregation maxes it instead of summing.
+	pipelinedSec float64
 }
 
 func (w *worker) real() bool { return w.eng.cfg.Mode == Real }
@@ -230,16 +245,28 @@ func (e *Engine) seedPlan() *sample.SeedPlan {
 	return sample.SplitEven(e.cfg.Seeds, n, e.epochRNG)
 }
 
+// EnablePipeline switches the engine to prefetch-overlapped execution
+// (see Config.Pipeline); depth <= 0 selects the default channel depth.
+func (e *Engine) EnablePipeline(depth int) {
+	e.cfg.Pipeline = true
+	e.cfg.PipelineDepth = depth
+}
+
 // RunEpoch executes one training epoch and returns its statistics.
 func (e *Engine) RunEpoch() EpochStats {
 	e.Group.ResetClocks()
 	for _, w := range e.workers {
 		*w.stats = WorkerStats{}
+		w.pipelinedSec = 0
 	}
 	plan := e.seedPlan()
 	nb := plan.NumBatches(e.cfg.BatchSize)
 	comm.RunParallel(len(e.workers), func(dev int) {
-		e.workerEpoch(e.workers[dev], plan, nb)
+		if e.cfg.Pipeline {
+			e.workerEpochPipelined(e.workers[dev], plan, nb)
+		} else {
+			e.workerEpoch(e.workers[dev], plan, nb)
+		}
 	})
 	return e.collectStats(nb)
 }
@@ -254,10 +281,6 @@ func (e *Engine) workerEpoch(w *worker, plan *sample.SeedPlan, numBatches int) {
 	}
 	for step := 0; step < numBatches; step++ {
 		seeds := plan.Batch(w.dev.ID, step, B)
-		global := 0
-		for d := range plan.PerWorker {
-			global += len(plan.Batch(d, step, B))
-		}
 		var mb *sample.MiniBatch
 		if e.cfg.PreSampled != nil {
 			mb = e.cfg.PreSampled[w.dev.ID][step]
@@ -271,37 +294,50 @@ func (e *Engine) workerEpoch(w *worker, plan *sample.SeedPlan, numBatches int) {
 		}
 		w.dev.Charge(device.StageSample, e.cfg.Platform.SampleTime(edges))
 		w.stats.SampledEdges += edges
-		w.stats.Layer1Dst += int64(mb.Layer1().NumDst())
-		w.stats.SeedsProcessed += int64(len(seeds))
 
-		h, ctx := e.runner.forward(w, mb)
-
-		if w.real() {
-			st := w.model.ForwardPartial(mb, 1, h)
-			e.chargeUpperLayers(w, mb, false)
-			labels := make([]int32, len(seeds))
-			for i, s := range seeds {
-				labels[i] = e.cfg.Labels[s]
-			}
-			loss, dLogits := nn.SoftmaxCrossEntropy(st.Logits, labels, maxInt(global, 1))
-			w.stats.LossSum += loss
-			dH := w.model.BackwardPartial(mb, st, 0, dLogits)
-			e.chargeUpperLayers(w, mb, true)
-			e.runner.backward(w, mb, ctx, dH)
-		} else {
-			e.chargeUpperLayers(w, mb, false)
-			e.chargeUpperLayers(w, mb, true)
-			e.runner.backward(w, mb, ctx, nil)
-		}
-
-		e.syncGradients(w)
-		if w.real() {
-			w.opt.Step(w.model.Params())
-			w.model.ZeroGrad()
-		}
+		e.computeStep(w, plan, step, seeds, mb)
 		if e.cfg.RecordTimeline {
 			snap = w.recordStep(step, snap)
 		}
+	}
+}
+
+// computeStep runs everything past sampling for one mini-batch: the
+// strategy's layer 1, the data-parallel upper layers, loss/backward in
+// real mode, and gradient synchronization. Shared by the synchronous
+// and pipelined epoch loops.
+func (e *Engine) computeStep(w *worker, plan *sample.SeedPlan, step int, seeds []graph.NodeID, mb *sample.MiniBatch) {
+	global := 0
+	for d := range plan.PerWorker {
+		global += len(plan.Batch(d, step, e.cfg.BatchSize))
+	}
+	w.stats.Layer1Dst += int64(mb.Layer1().NumDst())
+	w.stats.SeedsProcessed += int64(len(seeds))
+
+	h, ctx := e.runner.forward(w, mb)
+
+	if w.real() {
+		st := w.model.ForwardPartial(mb, 1, h)
+		e.chargeUpperLayers(w, mb, false)
+		labels := make([]int32, len(seeds))
+		for i, s := range seeds {
+			labels[i] = e.cfg.Labels[s]
+		}
+		loss, dLogits := nn.SoftmaxCrossEntropy(st.Logits, labels, maxInt(global, 1))
+		w.stats.LossSum += loss
+		dH := w.model.BackwardPartial(mb, st, 0, dLogits)
+		e.chargeUpperLayers(w, mb, true)
+		e.runner.backward(w, mb, ctx, dH)
+	} else {
+		e.chargeUpperLayers(w, mb, false)
+		e.chargeUpperLayers(w, mb, true)
+		e.runner.backward(w, mb, ctx, nil)
+	}
+
+	e.syncGradients(w)
+	if w.real() {
+		w.opt.Step(w.model.Params())
+		w.model.ZeroGrad()
 	}
 }
 
@@ -311,7 +347,7 @@ func (e *Engine) workerEpoch(w *worker, plan *sample.SeedPlan, numBatches int) {
 func (e *Engine) syncGradients(w *worker) {
 	total := w.model.NumParamElements()
 	if w.real() {
-		flat := tensor.New(1, total)
+		flat := tensor.Get(1, total)
 		off := 0
 		for _, p := range w.model.Params() {
 			copy(flat.Data[off:], p.G.Data)
@@ -323,6 +359,12 @@ func (e *Engine) syncGradients(w *worker) {
 			copy(p.G.Data, sum.Data[off:off+len(p.G.Data)])
 			off += len(p.G.Data)
 		}
+		tensor.Put(sum) // the reduced copy is locally owned
+		// flat was shipped by reference; lagging peers may still be
+		// summing it, so it can only go back to the pool after everyone
+		// finishes this step's allreduce.
+		e.Comm.Barrier(w.dev.ID)
+		tensor.Put(flat)
 	} else {
 		e.Comm.AllReduce(w.dev.ID, device.StageTrain, nil, int64(total)*4)
 	}

@@ -90,6 +90,15 @@ type EpochStats struct {
 	PerDevice []WorkerStats
 	// NumBatches is the synchronized step count.
 	NumBatches int
+	// MeasuredPipelinedSec is the epoch time actually tracked by the
+	// pipelined engine (Config.Pipeline): the max across workers of the
+	// overlapped sample/compute schedule on the simulated clocks. Zero
+	// when the engine ran synchronously. Always <= EpochTime() and >=
+	// the idealized PipelinedTime() lower bound is NOT guaranteed —
+	// PipelinedTime assumes three-way overlap of sampling, loading, and
+	// training, while the engine overlaps sampling against everything
+	// else, so the measured value sits between the two in practice.
+	MeasuredPipelinedSec float64
 	// MeanLoss is the average global mini-batch loss (real mode).
 	MeanLoss float64
 	// OOM reports whether any device overflowed its memory.
@@ -134,6 +143,9 @@ func (s EpochStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "epoch %.3fs (sample %.3f build %.3f load %.3f train %.3f shuffle %.3f)",
 		s.EpochTime(), s.SampleSec, s.BuildSec, s.LoadSec, s.TrainSec, s.ShuffleSec)
+	if s.MeasuredPipelinedSec > 0 {
+		fmt.Fprintf(&b, " [pipelined %.3fs]", s.MeasuredPipelinedSec)
+	}
 	if s.OOM {
 		b.WriteString(" [OOM]")
 	}
@@ -147,6 +159,9 @@ func (e *Engine) collectStats(numBatches int) EpochStats {
 	for _, w := range e.workers {
 		st.Totals.add(w.stats)
 		st.PerDevice = append(st.PerDevice, *w.stats)
+		if w.pipelinedSec > st.MeasuredPipelinedSec {
+			st.MeasuredPipelinedSec = w.pipelinedSec
+		}
 	}
 	mx := e.Group.StageMax(device.StageSample, device.StageBuild,
 		device.StageLoad, device.StageTrain, device.StageShuffle)

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// Pipelined execution (GNNLab/DSP-style overlap): each worker runs a
+// prefetch goroutine that samples mini-batch t+1 while batch t
+// computes, bounded by a channel of depth Config.PipelineDepth. The
+// collectives keep their lockstep contract — only sampling leaves the
+// worker goroutine — and each worker's sampler still draws batches in
+// sequential order on a single goroutine, so real-mode training is
+// bit-identical to the synchronous path.
+//
+// On top of the real overlap, the simulated clocks are folded into an
+// overlapped schedule per worker:
+//
+//	sampleDone[t]  = max(sampleDone[t-1], computeStart[t-depth]) + sampleSec[t]
+//	computeStart[t] = max(computeDone[t-1], sampleDone[t])
+//	computeDone[t]  = computeStart[t] + computeSec[t]
+//
+// where the computeStart[t-depth] term models the bounded prefetch
+// queue: slot t frees only when compute picks up batch t-depth. The
+// worker's measured epoch is computeDone[last]; EpochStats reports the
+// max across workers as MeasuredPipelinedSec, next to the analytic
+// PipelinedTime() upper-bound estimate. The schedule never beats
+// perfect overlap (sampling and compute are the two pipeline legs) and
+// never exceeds the synchronous EpochTime, since each worker's
+// overlapped finish is at most its own stage-time sum.
+
+// defaultPipelineDepth bounds prefetch when Config.PipelineDepth is 0.
+const defaultPipelineDepth = 2
+
+func (e *Engine) pipelineDepth() int {
+	if d := e.cfg.PipelineDepth; d > 0 {
+		return d
+	}
+	return defaultPipelineDepth
+}
+
+// prefetched is one sampled mini-batch handed from a worker's prefetch
+// goroutine to its compute loop.
+type prefetched struct {
+	step      int
+	seeds     []graph.NodeID
+	mb        *sample.MiniBatch
+	edges     int64
+	sampleSec float64
+}
+
+// runPrefetcher samples the worker's whole epoch in step order,
+// charging the sample clock as it goes, and feeds the bounded channel.
+// It owns the worker's sampler for the duration of the epoch; stats
+// counters stay with the compute loop so the two goroutines never
+// share mutable state.
+func (e *Engine) runPrefetcher(w *worker, plan *sample.SeedPlan, numBatches int, out chan<- prefetched) {
+	defer close(out)
+	B := e.cfg.BatchSize
+	for step := 0; step < numBatches; step++ {
+		seeds := plan.Batch(w.dev.ID, step, B)
+		var mb *sample.MiniBatch
+		if e.cfg.PreSampled != nil {
+			mb = e.cfg.PreSampled[w.dev.ID][step]
+			seeds = mb.Seeds
+		} else {
+			mb = e.samplers[w.dev.ID].Sample(seeds)
+		}
+		var edges int64
+		for _, b := range mb.Blocks {
+			edges += b.NumEdges()
+		}
+		sampleSec := e.cfg.Platform.SampleTime(edges)
+		w.dev.Charge(device.StageSample, sampleSec)
+		out <- prefetched{step: step, seeds: seeds, mb: mb, edges: edges, sampleSec: sampleSec}
+	}
+}
+
+// nonSampleElapsed sums the device's compute-side stage clocks (all
+// stages a worker's compute loop charges).
+func nonSampleElapsed(d *device.Device) float64 {
+	return d.Elapsed(device.StageBuild) + d.Elapsed(device.StageLoad) +
+		d.Elapsed(device.StageTrain) + d.Elapsed(device.StageShuffle)
+}
+
+// workerEpochPipelined drives one device with sampling prefetched on a
+// side goroutine, tracking the overlapped simulated schedule.
+func (e *Engine) workerEpochPipelined(w *worker, plan *sample.SeedPlan, numBatches int) {
+	depth := e.pipelineDepth()
+	ch := make(chan prefetched, depth)
+	go e.runPrefetcher(w, plan, numBatches, ch)
+
+	var snap stageSnapshot
+	if e.cfg.RecordTimeline {
+		w.timeline = w.timeline[:0]
+		snap = snapshotOf(w.dev)
+	}
+	sampleDone := make([]float64, numBatches)
+	computeStart := make([]float64, numBatches)
+	computeDone := make([]float64, numBatches)
+	prevCompute := nonSampleElapsed(w.dev)
+
+	for f := range ch {
+		w.stats.SampledEdges += f.edges
+		e.computeStep(w, plan, f.step, f.seeds, f.mb)
+
+		cur := nonSampleElapsed(w.dev)
+		computeSec := cur - prevCompute
+		prevCompute = cur
+
+		t := f.step
+		var prevSample, slotFree, prevDone float64
+		if t > 0 {
+			prevSample = sampleDone[t-1]
+			prevDone = computeDone[t-1]
+		}
+		if t-depth >= 0 {
+			slotFree = computeStart[t-depth]
+		}
+		sampleDone[t] = maxf64(prevSample, slotFree) + f.sampleSec
+		computeStart[t] = maxf64(prevDone, sampleDone[t])
+		computeDone[t] = computeStart[t] + computeSec
+
+		if e.cfg.RecordTimeline {
+			// The prefetcher charges the sample clock ahead of compute,
+			// so per-step sampling comes from the batch itself; the
+			// compute stages still come from clock deltas.
+			curSnap := snapshotOf(w.dev)
+			w.timeline = append(w.timeline, StepTrace{
+				Step:      t,
+				SampleSec: f.sampleSec,
+				BuildSec:  curSnap[1] - snap[1],
+				LoadSec:   curSnap[2] - snap[2],
+				TrainSec:  curSnap[3] - snap[3],
+				ShuffSec:  curSnap[4] - snap[4],
+			})
+			snap = curSnap
+		}
+	}
+	if numBatches > 0 {
+		w.pipelinedSec = computeDone[numBatches-1]
+	}
+}

@@ -91,7 +91,9 @@ func (l *GATLayer) ProjectHead(k int, h *tensor.Matrix) *tensor.Matrix {
 
 // ProjectHeadBackward accumulates dW_k += hᵀ dZ and returns dH = dZ W_kᵀ.
 func (l *GATLayer) ProjectHeadBackward(k int, h, dZ *tensor.Matrix) *tensor.Matrix {
-	l.Ws[k].G.AddInPlace(tensor.TMatMul(h, dZ))
+	gw := tensor.TMatMul(h, dZ)
+	l.Ws[k].G.AddInPlace(gw)
+	tensor.Put(gw)
 	return tensor.MatMulT(dZ, l.Ws[k].W)
 }
 
@@ -105,7 +107,9 @@ func (l *GATLayer) headAttention(k int, blk *sample.Block, z *tensor.Matrix) (*t
 	zdst := tensor.FromData(nDst, z.Cols, z.Data[:nDst*z.Cols])
 	elm := tensor.MatMul(zdst, l.ALs[k].W)
 	copy(el, elm.Data)
+	tensor.Put(elm)
 	sRaw := tensor.SDDMMAdd(blk.EdgePtr, blk.SrcIdx, el, er.Data)
+	tensor.Put(er)
 	s := tensor.LeakyReLUSlice(sRaw, l.NegativeSlope)
 	alpha := tensor.SegmentSoftmax(blk.EdgePtr, s)
 	o := tensor.SegmentWeightedSum(blk.EdgePtr, blk.SrcIdx, alpha, z)
@@ -129,7 +133,7 @@ func (c *GATAttnCtx) Out() *tensor.Matrix { return c.out }
 func (l *GATLayer) AttentionForward(blk *sample.Block, zs []*tensor.Matrix) (*tensor.Matrix, *GATAttnCtx) {
 	nDst := blk.NumDst()
 	dh := l.OutPerHead()
-	concat := tensor.New(nDst, l.OutDim())
+	concat := tensor.Get(nDst, l.OutDim())
 	ctx := &GATAttnCtx{heads: make([]gatHeadCtx, l.Heads)}
 	for k := 0; k < l.Heads; k++ {
 		o, hc := l.headAttention(k, blk, zs[k])
@@ -137,8 +141,12 @@ func (l *GATLayer) AttentionForward(blk *sample.Block, zs []*tensor.Matrix) (*te
 		for i := 0; i < nDst; i++ {
 			copy(concat.Row(i)[k*dh:(k+1)*dh], o.Row(i))
 		}
+		tensor.Put(o)
 	}
 	ctx.out = applyActivation(l.Act, concat)
+	if ctx.out != concat { // activation cloned the concat buffer
+		tensor.Put(concat)
+	}
 	return ctx.out, ctx
 }
 
@@ -151,11 +159,15 @@ func (l *GATLayer) AttentionBackward(blk *sample.Block, ctx *GATAttnCtx, dOut *t
 	dh := l.OutPerHead()
 	dZs := make([]*tensor.Matrix, l.Heads)
 	for k := 0; k < l.Heads; k++ {
-		dO := tensor.New(nDst, dh)
+		dO := tensor.Get(nDst, dh)
 		for i := 0; i < nDst; i++ {
 			copy(dO.Row(i), dConcat.Row(i)[k*dh:(k+1)*dh])
 		}
 		dZs[k] = l.headBackwardToProjection(k, blk, ctx.heads[k], dO)
+		tensor.Put(dO)
+	}
+	if dConcat != dOut { // ActNone passes dOut through untouched
+		tensor.Put(dConcat)
 	}
 	return dZs
 }
@@ -177,9 +189,15 @@ func (l *GATLayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix,
 func (l *GATLayer) Backward(blk *sample.Block, ctxI LayerCtx, dOut *tensor.Matrix) *tensor.Matrix {
 	ctx := ctxI.(*gatCtx)
 	dZs := l.AttentionBackward(blk, ctx.attn, dOut)
-	dHTotal := tensor.New(ctx.h.Rows, l.InDim())
+	dHTotal := tensor.Get(ctx.h.Rows, l.InDim())
 	for k := 0; k < l.Heads; k++ {
-		dHTotal.AddInPlace(l.ProjectHeadBackward(k, ctx.h, dZs[k]))
+		dH := l.ProjectHeadBackward(k, ctx.h, dZs[k])
+		dHTotal.AddInPlace(dH)
+		tensor.Put(dH)
+		tensor.Put(dZs[k])
+		// zs[k] was created by this layer's Forward; the head ctx is done
+		// with it once its gradient is propagated.
+		tensor.Put(ctx.attn.heads[k].z)
 	}
 	return dHTotal
 }
@@ -201,8 +219,12 @@ func (l *GATLayer) headBackwardToProjection(k int, blk *sample.Block, c gatHeadC
 		}
 	}
 	zdst := tensor.FromData(nDst, dh, c.z.Data[:nDst*dh])
-	l.ALs[k].G.AddInPlace(tensor.TMatMul(zdst, tensor.FromData(nDst, 1, dEl)))
-	l.ARs[k].G.AddInPlace(tensor.TMatMul(c.z, tensor.FromData(blk.NumSrc(), 1, dEr)))
+	gl := tensor.TMatMul(zdst, tensor.FromData(nDst, 1, dEl))
+	l.ALs[k].G.AddInPlace(gl)
+	tensor.Put(gl)
+	gr := tensor.TMatMul(c.z, tensor.FromData(blk.NumSrc(), 1, dEr))
+	l.ARs[k].G.AddInPlace(gr)
+	tensor.Put(gr)
 	aL, aR := l.ALs[k].W.Data, l.ARs[k].W.Data
 	for i := 0; i < nDst; i++ {
 		row := dZ.Row(i)

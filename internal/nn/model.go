@@ -95,7 +95,14 @@ func (m *Model) Forward(mb *sample.MiniBatch, x *tensor.Matrix) *ForwardState {
 func (m *Model) Backward(mb *sample.MiniBatch, st *ForwardState, dLogits *tensor.Matrix) {
 	d := dLogits
 	for l := len(m.Layers) - 1; l >= 0; l-- {
-		d = m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
+		nd := m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
+		if d != dLogits { // recycle the intermediate gradient chain
+			tensor.Put(d)
+		}
+		d = nd
+	}
+	if d != dLogits {
+		tensor.Put(d)
 	}
 }
 
@@ -124,7 +131,11 @@ func (m *Model) ForwardPartial(mb *sample.MiniBatch, fromLayer int, h *tensor.Ma
 func (m *Model) BackwardPartial(mb *sample.MiniBatch, st *ForwardState, toLayer int, dLogits *tensor.Matrix) *tensor.Matrix {
 	d := dLogits
 	for l := len(m.Layers) - 1; l > toLayer; l-- {
-		d = m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
+		nd := m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
+		if d != dLogits { // recycle the intermediate gradient chain
+			tensor.Put(d)
+		}
+		d = nd
 	}
 	return d
 }

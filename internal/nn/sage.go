@@ -77,7 +77,9 @@ func (l *SAGELayer) Project(h *tensor.Matrix) *tensor.Matrix {
 
 // ProjectBackward accumulates dW += hᵀ dZ and returns dH = dZ Wᵀ.
 func (l *SAGELayer) ProjectBackward(h, dZ *tensor.Matrix) *tensor.Matrix {
-	l.W.G.AddInPlace(tensor.TMatMul(h, dZ))
+	gw := tensor.TMatMul(h, dZ)
+	l.W.G.AddInPlace(gw)
+	tensor.Put(gw)
 	return tensor.MatMulT(dZ, l.W.W)
 }
 
@@ -93,7 +95,11 @@ func (l *SAGELayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix
 	} else {
 		s = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, z)
 	}
+	tensor.Put(z)
 	out := applyActivation(l.Act, s)
+	if out != s { // activation cloned; recycle the pre-activation sums
+		tensor.Put(s)
+	}
 	return out, &sageCtx{h: h, out: out}
 }
 
@@ -107,7 +113,12 @@ func (l *SAGELayer) Backward(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matri
 	} else {
 		dZ = tensor.SegmentMeanBackward(blk.EdgePtr, blk.SrcIdx, dS, blk.NumSrc())
 	}
-	return l.ProjectBackward(c.h, dZ)
+	if dS != dOut { // ActNone passes dOut through untouched
+		tensor.Put(dS)
+	}
+	dH := l.ProjectBackward(c.h, dZ)
+	tensor.Put(dZ)
+	return dH
 }
 
 // NormalizeAggregate applies the aggregator's normalization to partial

@@ -50,29 +50,53 @@ func (c Config) Layers() int { return len(c.Fanouts) }
 
 // Sampler draws sampled subgraphs from a data graph. A Sampler is not
 // safe for concurrent use; create one per worker with rng.Split().
+// The pipelined engine runs each worker's sampler on that worker's
+// prefetch goroutine, which preserves this contract.
 type Sampler struct {
 	g   *graph.Graph
 	cfg Config
 	rng *graph.RNG
 
-	// scratch for dedup: node -> position in current src list.
+	// stamp/epoch is scratch for within-call set membership
+	// (pickNeighbors' Floyd sampling, sampleLayerWise's chosen set).
 	stamp []int32
 	epoch int32
-	picks []graph.NodeID
+	// srcStamp/srcPos/srcGen is the per-layer dedup scratch: node u is
+	// already in the block's src list iff srcStamp[u] == srcGen, at
+	// position srcPos[u]. Bumping srcGen resets the map in O(1).
+	srcStamp []int32
+	srcPos   []int32
+	srcGen   int32
+	picks    []graph.NodeID
 }
 
 // NewSampler creates a sampler over g.
 func NewSampler(g *graph.Graph, cfg Config, rng *graph.RNG) *Sampler {
 	s := &Sampler{
-		g:     g,
-		cfg:   cfg,
-		rng:   rng,
-		stamp: make([]int32, g.NumNodes()),
+		g:        g,
+		cfg:      cfg,
+		rng:      rng,
+		stamp:    make([]int32, g.NumNodes()),
+		srcStamp: make([]int32, g.NumNodes()),
+		srcPos:   make([]int32, g.NumNodes()),
 	}
 	for i := range s.stamp {
 		s.stamp[i] = -1
 	}
 	return s
+}
+
+// nextSrcGen advances the dedup generation, clearing the scratch on
+// the (practically unreachable) int32 wraparound.
+func (s *Sampler) nextSrcGen() int32 {
+	s.srcGen++
+	if s.srcGen == int32(^uint32(0)>>1) { // MaxInt32
+		for i := range s.srcStamp {
+			s.srcStamp[i] = 0
+		}
+		s.srcGen = 1
+	}
+	return s.srcGen
 }
 
 // Sample builds the mini-batch computation graph for the given seeds.
@@ -108,14 +132,15 @@ func (s *Sampler) sampleLayerWise(dst []graph.NodeID, budget int) *Block {
 	for _, v := range dst {
 		pool = append(pool, s.g.Neighbors(v)...)
 	}
-	pos := make(map[graph.NodeID]int32, budget*2)
+	gen := s.nextSrcGen()
 	addSrc := func(u graph.NodeID) int32 {
-		if p, ok := pos[u]; ok {
-			return p
+		if s.srcStamp[u] == gen {
+			return s.srcPos[u]
 		}
 		p := int32(len(b.Src))
 		b.Src = append(b.Src, u)
-		pos[u] = p
+		s.srcStamp[u] = gen
+		s.srcPos[u] = p
 		return p
 	}
 	if s.cfg.IncludeDstInSrc {
@@ -125,20 +150,29 @@ func (s *Sampler) sampleLayerWise(dst []graph.NodeID, budget int) *Block {
 	}
 	// Sample the pool by index; drawing uniform indices of the
 	// multiplicity-weighted pool samples nodes with probability
-	// proportional to their in-union degree.
-	chosen := make(map[graph.NodeID]struct{}, budget)
+	// proportional to their in-union degree. The chosen set lives in
+	// the stamp scratch (pickNeighbors is not used on this path).
+	s.epoch++
+	chosenGen := s.epoch
+	nChosen := 0
 	if len(pool) <= budget {
 		for _, u := range pool {
-			chosen[u] = struct{}{}
+			if s.stamp[u] != chosenGen {
+				s.stamp[u] = chosenGen
+				nChosen++
+			}
 		}
 	} else {
-		for tries := 0; len(chosen) < budget && tries < budget*4; tries++ {
-			chosen[pool[s.rng.Intn(len(pool))]] = struct{}{}
+		for tries := 0; nChosen < budget && tries < budget*4; tries++ {
+			if u := pool[s.rng.Intn(len(pool))]; s.stamp[u] != chosenGen {
+				s.stamp[u] = chosenGen
+				nChosen++
+			}
 		}
 	}
 	for i, v := range dst {
 		for _, u := range s.g.Neighbors(v) {
-			if _, ok := chosen[u]; ok {
+			if s.stamp[u] == chosenGen {
 				b.SrcIdx = append(b.SrcIdx, addSrc(u))
 			}
 		}
@@ -154,16 +188,29 @@ func (s *Sampler) sampleLayer(dst []graph.NodeID, fanout int) *Block {
 		Dst:     dst,
 		EdgePtr: make([]int64, len(dst)+1),
 	}
-	// Position map: src node -> index in b.Src, built with a stamped
-	// scratch array (O(1) reset between layers).
-	pos := make(map[graph.NodeID]int32, len(dst)*2)
+	// Edge capacity is exactly bounded: min(fanout, degree) per
+	// destination. Under Full fanout is huge, so bound by degree sums
+	// instead of multiplying.
+	capHint := 0
+	for _, v := range dst {
+		d := len(s.g.Neighbors(v))
+		if d > fanout {
+			d = fanout
+		}
+		capHint += d
+	}
+	b.SrcIdx = make([]int32, 0, capHint)
+	// Position map: src node -> index in b.Src, held in the stamped
+	// scratch arrays (O(1) reset between layers, no per-layer map).
+	gen := s.nextSrcGen()
 	addSrc := func(u graph.NodeID) int32 {
-		if p, ok := pos[u]; ok {
-			return p
+		if s.srcStamp[u] == gen {
+			return s.srcPos[u]
 		}
 		p := int32(len(b.Src))
 		b.Src = append(b.Src, u)
-		pos[u] = p
+		s.srcStamp[u] = gen
+		s.srcPos[u] = p
 		return p
 	}
 	if s.cfg.IncludeDstInSrc {

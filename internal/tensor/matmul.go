@@ -36,12 +36,13 @@ func parallelRows(rows int, minRowsPerTask int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MatMul returns a @ b (a: m x k, b: k x n).
+// MatMul returns a @ b (a: m x k, b: k x n). The result is pool-backed
+// (see Get/Put); callers that discard it may Put it back.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
-	out := New(a.Rows, b.Cols)
+	out := Get(a.Rows, b.Cols)
 	n := b.Cols
 	parallelRows(a.Rows, 16, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -66,7 +67,7 @@ func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic("tensor: MatMulT inner dimension mismatch")
 	}
-	out := New(a.Rows, b.Rows)
+	out := Get(a.Rows, b.Rows)
 	parallelRows(a.Rows, 16, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Row(i)
@@ -90,9 +91,11 @@ func TMatMul(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic("tensor: TMatMul outer dimension mismatch")
 	}
-	out := New(a.Cols, b.Cols)
+	out := Get(a.Cols, b.Cols)
 	// Parallelize over the k dimension with per-worker accumulators to
-	// avoid write contention on the (small) output.
+	// avoid write contention on the (small) output. Partials merge in
+	// worker order, so the result is deterministic for a fixed
+	// GOMAXPROCS (summation order differs from the sequential path).
 	workers := runtime.GOMAXPROCS(0)
 	if a.Rows < 64 || workers == 1 {
 		tmatmulRange(a, b, out, 0, a.Rows)
@@ -110,7 +113,7 @@ func TMatMul(a, b *Matrix) *Matrix {
 		if hi > a.Rows {
 			hi = a.Rows
 		}
-		partials[w] = New(a.Cols, b.Cols)
+		partials[w] = Get(a.Cols, b.Cols)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -121,6 +124,7 @@ func TMatMul(a, b *Matrix) *Matrix {
 	for _, p := range partials {
 		if p != nil {
 			out.AddInPlace(p)
+			Put(p)
 		}
 	}
 	return out

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer pool for matrix storage. The hot training loop allocates and
+// discards the same handful of shapes every mini-batch step (layer
+// projections, aggregation outputs, gradient scratch); recycling them
+// through size-classed sync.Pools makes the kernels allocation-free in
+// steady state, which is what lets the pipelined engine run sampling
+// and compute concurrently without fighting the allocator.
+//
+// Protocol: Get returns a zeroed matrix whose storage comes from the
+// pool when available — semantically identical to New. Put recycles a
+// matrix (header and backing slice); after Put the caller must not
+// touch the matrix again. Put is always optional — a matrix that
+// escapes to a long-lived owner is simply never recycled — and accepts
+// matrices from any source (New, Get, or a kernel's return value).
+
+// maxPoolClass bounds pooled buffers at 2^maxPoolClass float32s
+// (256 MiB); larger requests bypass the pool.
+const maxPoolClass = 26
+
+// matPools[c] holds *Matrix whose Data capacity is >= 1<<c floats.
+var matPools [maxPoolClass + 1]sync.Pool
+
+// sizeClass returns the smallest c with 1<<c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zeroed rows x cols matrix, reusing pooled storage when
+// possible. Semantically identical to New.
+func Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if n == 0 || n > 1<<maxPoolClass {
+		return New(rows, cols)
+	}
+	c := sizeClass(n)
+	if v := matPools[c].Get(); v != nil {
+		m := v.(*Matrix)
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+		return m
+	}
+	// Allocate at full class capacity so the buffer serves any future
+	// request of this class.
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, n, 1<<c)}
+}
+
+// Put recycles m into the pool. m must not be used (by anyone) after
+// Put; recycling a matrix whose storage is still shared corrupts later
+// Gets. nil is ignored.
+func Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	cp := cap(m.Data)
+	if cp == 0 || cp > 1<<maxPoolClass {
+		return
+	}
+	// File under the largest class the capacity fully covers, so any
+	// matrix Get pulls from class c is guaranteed to hold 2^c floats.
+	c := bits.Len(uint(cp)) - 1
+	m.Data = m.Data[:0]
+	matPools[c].Put(m)
+}

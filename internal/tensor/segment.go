@@ -1,16 +1,21 @@
 package tensor
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+)
 
 // Segment kernels operate on a CSR edge structure (edgePtr over
 // destinations, srcIdx into the source-row matrix) — the dense-sparse
 // products of the paper's Figure 5 tensor abstraction.
 
 // SegmentSum computes out[i] = Σ_{e in segment i} src[srcIdx[e]] — the
-// SpMM forward with sum aggregation.
+// SpMM forward with sum aggregation. The result is pool-backed (see
+// Get/Put).
 func SegmentSum(edgePtr []int64, srcIdx []int32, src *Matrix) *Matrix {
 	nDst := len(edgePtr) - 1
-	out := New(nDst, src.Cols)
+	out := Get(nDst, src.Cols)
 	parallelRows(nDst, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			or := out.Row(i)
@@ -25,19 +30,76 @@ func SegmentSum(edgePtr []int64, srcIdx []int32, src *Matrix) *Matrix {
 	return out
 }
 
-// SegmentSumBackward scatters dOut back to source rows:
-// dSrc[srcIdx[e]] += dOut[i] for each edge e of destination i.
-func SegmentSumBackward(edgePtr []int64, srcIdx []int32, dOut *Matrix, nSrc int) *Matrix {
-	dSrc := New(nSrc, dOut.Cols)
-	// Sequential over destinations: multiple destinations may share a
-	// source row, so a naive parallel scatter would race.
-	for i := 0; i < dOut.Rows; i++ {
+// segBackwardMinDst is the destination count below which the scatter
+// backwards run sequentially (per-worker partial matrices are not
+// worth their zeroing/merging cost on small blocks).
+const segBackwardMinDst = 256
+
+// segmentScatterRange accumulates dOut rows [lo, hi) into dSrc.
+func segmentScatterRange(edgePtr []int64, srcIdx []int32, dOut, dSrc *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		dr := dOut.Row(i)
 		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
 			sr := dSrc.Row(int(srcIdx[e]))
 			for j := range dr {
 				sr[j] += dr[j]
 			}
+		}
+	}
+}
+
+// scatterWorkers picks the worker count for a parallel scatter over
+// nDst destinations into nSrc x cols partial accumulators, bounding the
+// zero+merge overhead relative to the scatter work itself.
+func scatterWorkers(nDst int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if w := nDst / (segBackwardMinDst / 4); w < workers {
+		workers = w
+	}
+	return workers
+}
+
+// SegmentSumBackward scatters dOut back to source rows:
+// dSrc[srcIdx[e]] += dOut[i] for each edge e of destination i.
+//
+// Multiple destinations may share a source row, so a naive parallel
+// scatter would race; large blocks instead scatter into per-worker
+// partial matrices merged in worker order (the TMatMul scheme). The
+// result is deterministic for a fixed GOMAXPROCS but sums in a
+// different order than the sequential path (float32 reassociation on
+// the order of the usual 1e-6 relative error).
+func SegmentSumBackward(edgePtr []int64, srcIdx []int32, dOut *Matrix, nSrc int) *Matrix {
+	dSrc := Get(nSrc, dOut.Cols)
+	nDst := dOut.Rows
+	workers := scatterWorkers(nDst)
+	if nDst < segBackwardMinDst || workers <= 1 {
+		segmentScatterRange(edgePtr, srcIdx, dOut, dSrc, 0, nDst)
+		return dSrc
+	}
+	partials := make([]*Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (nDst + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= nDst {
+			break
+		}
+		hi := lo + chunk
+		if hi > nDst {
+			hi = nDst
+		}
+		partials[w] = Get(nSrc, dOut.Cols)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			segmentScatterRange(edgePtr, srcIdx, dOut, partials[w], lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p != nil {
+			dSrc.AddInPlace(p)
+			Put(p)
 		}
 	}
 	return dSrc
@@ -60,9 +122,11 @@ func SegmentMean(edgePtr []int64, srcIdx []int32, src *Matrix) *Matrix {
 	return out
 }
 
-// SegmentMeanBackward is the backward of SegmentMean.
+// SegmentMeanBackward is the backward of SegmentMean. It parallelizes
+// like SegmentSumBackward (same determinism caveat).
 func SegmentMeanBackward(edgePtr []int64, srcIdx []int32, dOut *Matrix, nSrc int) *Matrix {
-	scaled := dOut.Clone()
+	scaled := Get(dOut.Rows, dOut.Cols)
+	copy(scaled.Data, dOut.Data)
 	for i := 0; i < scaled.Rows; i++ {
 		d := edgePtr[i+1] - edgePtr[i]
 		if d > 1 {
@@ -73,14 +137,16 @@ func SegmentMeanBackward(edgePtr []int64, srcIdx []int32, dOut *Matrix, nSrc int
 			}
 		}
 	}
-	return SegmentSumBackward(edgePtr, srcIdx, scaled, nSrc)
+	dSrc := SegmentSumBackward(edgePtr, srcIdx, scaled, nSrc)
+	Put(scaled)
+	return dSrc
 }
 
 // SegmentWeightedSum computes out[i] = Σ_e w[e] * src[srcIdx[e]] — the
 // attention-weighted aggregation of GAT.
 func SegmentWeightedSum(edgePtr []int64, srcIdx []int32, w []float32, src *Matrix) *Matrix {
 	nDst := len(edgePtr) - 1
-	out := New(nDst, src.Cols)
+	out := Get(nDst, src.Cols)
 	parallelRows(nDst, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			or := out.Row(i)
@@ -96,11 +162,12 @@ func SegmentWeightedSum(edgePtr []int64, srcIdx []int32, w []float32, src *Matri
 	return out
 }
 
-// SegmentWeightedSumBackward returns (dSrc, dW) for SegmentWeightedSum.
-func SegmentWeightedSumBackward(edgePtr []int64, srcIdx []int32, w []float32, src, dOut *Matrix) (*Matrix, []float32) {
-	dSrc := New(src.Rows, src.Cols)
-	dW := make([]float32, len(w))
-	for i := 0; i < dOut.Rows; i++ {
+// segmentWeightedScatterRange accumulates destinations [lo, hi) of the
+// weighted-sum backward into dSrc and writes their edge gradients into
+// dW (each edge belongs to exactly one destination, so concurrent
+// ranges write disjoint dW entries).
+func segmentWeightedScatterRange(edgePtr []int64, srcIdx []int32, w []float32, src, dOut, dSrc *Matrix, dW []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		dr := dOut.Row(i)
 		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
 			si := int(srcIdx[e])
@@ -113,6 +180,48 @@ func SegmentWeightedSumBackward(edgePtr []int64, srcIdx []int32, w []float32, sr
 				dot += sr[j] * dr[j]
 			}
 			dW[e] = dot
+		}
+	}
+}
+
+// SegmentWeightedSumBackward returns (dSrc, dW) for SegmentWeightedSum.
+// Large blocks parallelize over destination ranges with per-worker
+// partial dSrc matrices merged in worker order (same determinism
+// caveat as SegmentSumBackward); dW rows are disjoint per destination
+// and are written in place by every worker.
+func SegmentWeightedSumBackward(edgePtr []int64, srcIdx []int32, w []float32, src, dOut *Matrix) (*Matrix, []float32) {
+	dSrc := Get(src.Rows, src.Cols)
+	dW := make([]float32, len(w))
+	nDst := dOut.Rows
+	workers := scatterWorkers(nDst)
+	if nDst < segBackwardMinDst || workers <= 1 {
+		segmentWeightedScatterRange(edgePtr, srcIdx, w, src, dOut, dSrc, dW, 0, nDst)
+		return dSrc, dW
+	}
+	partials := make([]*Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (nDst + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		if lo >= nDst {
+			break
+		}
+		hi := lo + chunk
+		if hi > nDst {
+			hi = nDst
+		}
+		partials[wk] = Get(src.Rows, src.Cols)
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			segmentWeightedScatterRange(edgePtr, srcIdx, w, src, dOut, partials[wk], dW, lo, hi)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p != nil {
+			dSrc.AddInPlace(p)
+			Put(p)
 		}
 	}
 	return dSrc, dW
@@ -179,12 +288,13 @@ func SegmentSoftmaxBackward(edgePtr []int64, probs, dOut []float32) []float32 {
 	return dScores
 }
 
-// ReLU applies max(0, x) elementwise, returning a new matrix.
+// ReLU applies max(0, x) elementwise, returning a new (pool-backed)
+// matrix.
 func ReLU(x *Matrix) *Matrix {
-	out := x.Clone()
-	for i, v := range out.Data {
-		if v < 0 {
-			out.Data[i] = 0
+	out := Get(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
 		}
 	}
 	return out
@@ -192,10 +302,10 @@ func ReLU(x *Matrix) *Matrix {
 
 // ReLUBackward masks dOut by the forward output's support.
 func ReLUBackward(out, dOut *Matrix) *Matrix {
-	d := dOut.Clone()
+	d := Get(dOut.Rows, dOut.Cols)
 	for i, v := range out.Data {
-		if v <= 0 {
-			d.Data[i] = 0
+		if v > 0 {
+			d.Data[i] = dOut.Data[i]
 		}
 	}
 	return d
