@@ -8,13 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: vet + build everything, then run the
-# concurrency-heavy packages (pipelined engine, pooled kernels) under
-# the race detector.
+# verify is the pre-merge gate: vet + build everything (including the
+# serving daemon), then run the concurrency-heavy packages (pipelined
+# engine, pooled kernels, inference server) under the race detector.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/engine/... ./internal/tensor/...
+	$(GO) build ./cmd/aptserve
+	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -21,6 +21,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/sample"
+	"repro/internal/serve"
 	"repro/internal/strategy"
 	"repro/internal/tensor"
 )
@@ -89,6 +90,24 @@ type (
 	Optimizer = nn.Optimizer
 )
 
+// Online inference serving (package internal/serve): a Server answers
+// Predict requests over a trained model with adaptive micro-batching.
+type (
+	// Server is the online inference server; issue requests with
+	// Server.Predict and stop with Server.Close.
+	Server = serve.Server
+	// ServeConfig configures Serve.
+	ServeConfig = serve.Config
+	// PredictResult is one node's prediction.
+	PredictResult = serve.Result
+	// ServeStats is a snapshot of a Server's metrics registry
+	// (latency percentiles, throughput, batch sizes, cache hit rate).
+	ServeStats = serve.Snapshot
+)
+
+// ErrServerClosed is returned by Server.Predict after Server.Close.
+var ErrServerClosed = serve.ErrServerClosed
+
 // Constructors and entry points.
 var (
 	// NewAPT validates a task and creates the system.
@@ -118,4 +137,6 @@ var (
 	DescribePlan = engine.DescribePlan
 	// NewFullGraphTrainer builds the full-graph training baseline.
 	NewFullGraphTrainer = fullgraph.New
+	// Serve starts an online inference server over a trained model.
+	Serve = serve.New
 )

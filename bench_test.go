@@ -6,6 +6,7 @@ package repro
 // kernels. For full-scale reports use `go run ./cmd/aptbench`.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cache"
@@ -175,6 +176,54 @@ func BenchmarkNeighborSampling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = s.Sample(seeds)
 	}
+}
+
+// BenchmarkServeThroughput drives the online inference server with
+// concurrent single-node requests and reports, besides ns/op, the
+// latency percentiles and mean coalesced batch size the micro-batcher
+// achieved. Serving quality = high seeds/batch at low p99-ms.
+func BenchmarkServeThroughput(b *testing.B) {
+	spec, err := dataset.ByAbbr("PS", 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.Build(spec, true)
+	m := nn.NewGraphSAGE(ds.FeatDim, 32, ds.Classes, 2)
+	m.Init(graph.NewRNG(5))
+	srv, err := Serve(ServeConfig{
+		Graph:      ds.Graph,
+		Feats:      ds.Feats,
+		Model:      m,
+		Sampling:   sample.Config{Fanouts: []int{5, 5}},
+		Platform:   hardware.WithDevices(hardware.SingleMachine8GPU(), 1, 4),
+		CacheBytes: ds.CacheBytesFraction(0.1),
+		Seed:       9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var client atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(8) // clients ≫ workers, so the queue backs up and batches form
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := graph.NewRNG(uint64(0xfeed + client.Add(1)*977))
+		nodes := make([]graph.NodeID, 1)
+		for pb.Next() {
+			nodes[0] = graph.NodeID(rng.Intn(ds.Graph.NumNodes()))
+			if _, err := srv.Predict(nodes); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := srv.Stats()
+	b.ReportMetric(st.P50Ms, "p50-ms")
+	b.ReportMetric(st.P99Ms, "p99-ms")
+	b.ReportMetric(st.MeanBatchSeeds, "seeds/batch")
+	b.ReportMetric(100*st.CacheHitRate, "cache-hit-%")
 }
 
 // benchEpochEngine assembles a small real-mode GDP training run for the

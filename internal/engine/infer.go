@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// Online inference over the unified engine's real-mode dataflow: the
+// same sampler produces bipartite blocks, the same unified feature
+// store serves the input features (hitting the hotness caches and
+// charging simulated load time per the paper's position rules), and
+// the model runs its inference-only forward on a simulated device.
+// Each InferWorker owns one device and one sampler; the serving layer
+// drives one goroutine per worker.
+
+// InferConfig assembles everything an inference pool needs. The Store
+// must be configured (host placement + caches) by the caller and must
+// hold real features.
+type InferConfig struct {
+	Platform *hardware.Platform
+	Graph    *graph.Graph
+	// Store is the unified feature store; Feats must be non-nil.
+	Store *cache.Store
+	// Model is the trained model shared by all workers. Inference only
+	// reads its parameters, so sharing one replica is safe.
+	Model *nn.Model
+	// Sampling configures neighbor sampling; IncludeDstInSrc is forced
+	// on when the model needs it. Serving typically uses the training
+	// fanouts (or sample.Full for deterministic answers).
+	Sampling sample.Config
+	// Workers bounds the pool size; 0 or negative selects one worker
+	// per platform device, larger values are clamped.
+	Workers int
+	Seed    uint64
+}
+
+// Inferencer is a pool of inference workers over the simulated devices.
+type Inferencer struct {
+	cfg     InferConfig
+	group   *device.Group
+	workers []*InferWorker
+}
+
+// InferWorker executes inference mini-batches on one simulated device.
+// A worker's methods must be driven by a single goroutine at a time;
+// distinct workers run concurrently.
+type InferWorker struct {
+	inf     *Inferencer
+	dev     *device.Device
+	sampler *sample.Sampler
+}
+
+// NewInferencer validates the configuration and builds the worker pool.
+func NewInferencer(cfg InferConfig) (*Inferencer, error) {
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil || cfg.Store.Feats == nil {
+		return nil, fmt.Errorf("engine: inference requires a feature store with real features")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("engine: nil model")
+	}
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("engine: nil graph")
+	}
+	if len(cfg.Sampling.Fanouts) != len(cfg.Model.Layers) {
+		return nil, fmt.Errorf("engine: %d fanouts for %d model layers",
+			len(cfg.Sampling.Fanouts), len(cfg.Model.Layers))
+	}
+	if cfg.Model.NeedsDstInSrc() {
+		cfg.Sampling.IncludeDstInSrc = true
+	}
+	n := cfg.Platform.NumDevices()
+	if cfg.Workers > 0 && cfg.Workers < n {
+		n = cfg.Workers
+	}
+	inf := &Inferencer{cfg: cfg, group: device.NewGroup(cfg.Platform)}
+	for w := 0; w < n; w++ {
+		inf.workers = append(inf.workers, &InferWorker{
+			inf: inf,
+			dev: inf.group.Devices[w],
+			sampler: sample.NewSampler(cfg.Graph, cfg.Sampling,
+				graph.NewRNG(cfg.Seed^uint64(0x51e+w*7919))),
+		})
+	}
+	return inf, nil
+}
+
+// NumWorkers returns the pool size.
+func (inf *Inferencer) NumWorkers() int { return len(inf.workers) }
+
+// Worker returns worker w.
+func (inf *Inferencer) Worker(w int) *InferWorker { return inf.workers[w] }
+
+// SimSeconds returns the total simulated seconds accumulated across
+// all workers' device clocks since construction.
+func (inf *Inferencer) SimSeconds() float64 {
+	var s float64
+	for _, w := range inf.workers {
+		s += w.dev.TotalElapsed()
+	}
+	return s
+}
+
+// Device returns the worker's simulated device.
+func (w *InferWorker) Device() *device.Device { return w.dev }
+
+// Infer samples the mini-batch for seeds, loads input features through
+// the unified store (charging simulated sample/load/train time to the
+// worker's device), and runs the model's inference-only forward.
+// It returns the logits (row i answers seeds[i]; pool-backed — the
+// caller should tensor.Put them when done) and the batch's feature-load
+// statistics, whose location counts give the cache hit rate.
+func (w *InferWorker) Infer(seeds []graph.NodeID) (*tensor.Matrix, cache.LoadStats) {
+	mb := w.sampler.Sample(seeds)
+	var edges int64
+	for _, b := range mb.Blocks {
+		edges += b.NumEdges()
+	}
+	w.dev.Charge(device.StageSample, w.inf.cfg.Platform.SampleTime(edges))
+
+	x, st := w.inf.cfg.Store.Load(w.dev, mb.Layer1().Src)
+	for l, layer := range w.inf.cfg.Model.Layers {
+		blk := mb.Blocks[l]
+		dense, sparse := layerFLOPs(layer, int64(blk.NumSrc()), blk.NumEdges())
+		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.DenseTime(dense))
+		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.SparseTime(sparse))
+	}
+	logits := w.inf.cfg.Model.Predict(mb, x)
+	tensor.Put(x)
+	return logits, st
+}

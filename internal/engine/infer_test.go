@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+func inferFixture(t *testing.T, cacheAll bool) (*Inferencer, *graph.Graph, *nn.Model, *tensor.Matrix) {
+	t.Helper()
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 300, AvgDegree: 8, Seed: 2})
+	dim := 12
+	rng := graph.NewRNG(4)
+	feats := tensor.New(g.NumNodes(), dim)
+	for i := range feats.Data {
+		feats.Data[i] = rng.NormFloat32()
+	}
+	m := nn.NewGraphSAGE(dim, 16, 4, 2)
+	m.Init(graph.NewRNG(7))
+	p := hardware.WithDevices(hardware.SingleMachine8GPU(), 1, 2)
+	store := cache.NewStore(p, g.NumNodes(), dim, feats)
+	store.HostByRange()
+	if cacheAll {
+		all := make([]graph.NodeID, g.NumNodes())
+		for i := range all {
+			all[i] = graph.NodeID(i)
+		}
+		for d := 0; d < p.NumDevices(); d++ {
+			store.ConfigureCache(d, all)
+		}
+	}
+	inf, err := NewInferencer(InferConfig{
+		Platform: p,
+		Graph:    g,
+		Store:    store,
+		Model:    m,
+		Sampling: sample.Config{Fanouts: []int{0, 0}, Method: sample.Full},
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inf, g, m, feats
+}
+
+// TestInferMatchesDirectPredict checks worker inference equals a
+// direct sampler+Predict run (deterministic under Full sampling).
+func TestInferMatchesDirectPredict(t *testing.T) {
+	inf, g, m, feats := inferFixture(t, false)
+	seeds := []graph.NodeID{3, 50, 299}
+	logits, st := inf.Worker(0).Infer(seeds)
+	defer tensor.Put(logits)
+	if logits.Rows != len(seeds) {
+		t.Fatalf("logits rows = %d, want %d", logits.Rows, len(seeds))
+	}
+	var total int64
+	for _, n := range st.Nodes {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no feature loads recorded")
+	}
+
+	smp := sample.NewSampler(g, sample.Config{Fanouts: []int{0, 0}, Method: sample.Full}, graph.NewRNG(1))
+	mb := smp.Sample(seeds)
+	x := tensor.Gather(feats, mb.Layer1().Src)
+	want := m.Predict(mb, x)
+	defer tensor.Put(want)
+	if d := want.MaxAbsDiff(logits); d != 0 {
+		t.Fatalf("worker inference differs from direct predict by %g", d)
+	}
+}
+
+// TestInferChargesSimTimeAndHitsCache checks device clocks advance and
+// a fully-populated cache serves every read from GPU memory.
+func TestInferChargesSimTimeAndHitsCache(t *testing.T) {
+	inf, _, _, _ := inferFixture(t, true)
+	logits, st := inf.Worker(1).Infer([]graph.NodeID{10, 20, 30})
+	tensor.Put(logits)
+	if st.Nodes[cache.LocGPU] == 0 {
+		t.Fatal("expected GPU cache hits with a full cache")
+	}
+	var miss int64
+	for loc, n := range st.Nodes {
+		if cache.Location(loc) != cache.LocGPU {
+			miss += n
+		}
+	}
+	if miss != 0 {
+		t.Fatalf("expected all hits, got %d misses", miss)
+	}
+	if inf.SimSeconds() <= 0 {
+		t.Fatal("no simulated time charged")
+	}
+	if inf.NumWorkers() != 2 {
+		t.Fatalf("NumWorkers = %d", inf.NumWorkers())
+	}
+}
+
+// TestInferencerValidation exercises the constructor's error paths.
+func TestInferencerValidation(t *testing.T) {
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 50, AvgDegree: 4, Seed: 2})
+	p := hardware.WithDevices(hardware.SingleMachine8GPU(), 1, 1)
+	m := nn.NewGraphSAGE(8, 8, 3, 2)
+	accStore := cache.NewStore(p, g.NumNodes(), 8, nil)
+	if _, err := NewInferencer(InferConfig{Platform: p, Graph: g, Store: accStore, Model: m,
+		Sampling: sample.Config{Fanouts: []int{2, 2}}}); err == nil {
+		t.Fatal("accounting store accepted")
+	}
+	feats := tensor.New(g.NumNodes(), 8)
+	store := cache.NewStore(p, g.NumNodes(), 8, feats)
+	if _, err := NewInferencer(InferConfig{Platform: p, Graph: g, Store: store, Model: m,
+		Sampling: sample.Config{Fanouts: []int{2}}}); err == nil {
+		t.Fatal("fanout/layer mismatch accepted")
+	}
+}

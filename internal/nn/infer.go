@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// Inference-only execution. Training forward passes retain a LayerCtx
+// per layer (inputs, attention scores, pre-activation sums) so the
+// backward pass can consume them; a serving path that never calls
+// Backward would leak every one of those pooled buffers to the garbage
+// collector. Model.Predict runs the same kernels but recycles each
+// intermediate as soon as the next layer has consumed it, so steady-
+// state inference allocates nothing beyond what the kernels' pools
+// already hold.
+
+// InferenceLayer is implemented by layers that provide a forward pass
+// keeping no backward intermediates: every scratch buffer is returned
+// to the tensor pool before Infer returns, except the output itself.
+type InferenceLayer interface {
+	// Infer computes dst embeddings from src embeddings h exactly like
+	// Forward, but retains no LayerCtx. The returned matrix is
+	// pool-backed and owned by the caller.
+	Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix
+}
+
+// Infer implements InferenceLayer for GraphSAGE: Project + aggregate +
+// activation with the projection recycled immediately.
+func (l *SAGELayer) Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix {
+	if h.Rows != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: SAGE infer got %d src rows, block has %d", h.Rows, blk.NumSrc()))
+	}
+	z := l.Project(h)
+	var s *tensor.Matrix
+	if l.Agg == AggSum {
+		s = tensor.SegmentSum(blk.EdgePtr, blk.SrcIdx, z)
+	} else {
+		s = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, z)
+	}
+	tensor.Put(z)
+	out := applyActivation(l.Act, s)
+	if out != s { // activation cloned; recycle the pre-activation sums
+		tensor.Put(s)
+	}
+	return out
+}
+
+// Infer implements InferenceLayer for GAT: per-head projection and
+// attention with every head's projection recycled after its weighted
+// sum, instead of being parked in the backward context.
+func (l *GATLayer) Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix {
+	if h.Rows != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: GAT infer got %d src rows, block has %d", h.Rows, blk.NumSrc()))
+	}
+	nDst := blk.NumDst()
+	dh := l.OutPerHead()
+	concat := tensor.Get(nDst, l.OutDim())
+	for k := 0; k < l.Heads; k++ {
+		z := l.ProjectHead(k, h)
+		o, _ := l.headAttention(k, blk, z)
+		tensor.Put(z)
+		for i := 0; i < nDst; i++ {
+			copy(concat.Row(i)[k*dh:(k+1)*dh], o.Row(i))
+		}
+		tensor.Put(o)
+	}
+	out := applyActivation(l.Act, concat)
+	if out != concat {
+		tensor.Put(concat)
+	}
+	return out
+}
+
+// Predict runs the inference-only forward pass on mini-batch mb with
+// gathered input features x (rows aligned with mb.Blocks[0].Src). It
+// computes exactly what Forward's Logits would hold — bit-identical,
+// since the same kernels run in the same order — but retains no
+// backward intermediates: every hidden layer's output is recycled once
+// the next layer has consumed it. The caller keeps ownership of x and
+// receives ownership of the returned logits (pool-backed; tensor.Put
+// it when done). Predict only reads model parameters, so one Model may
+// serve concurrent Predict calls from multiple goroutines.
+func (m *Model) Predict(mb *sample.MiniBatch, x *tensor.Matrix) *tensor.Matrix {
+	if len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	h := x
+	for l, layer := range m.Layers {
+		var out *tensor.Matrix
+		if il, ok := layer.(InferenceLayer); ok {
+			out = il.Infer(mb.Blocks[l], h)
+		} else {
+			out, _ = layer.Forward(mb.Blocks[l], h)
+		}
+		if h != x { // recycle the previous hidden layer's output
+			tensor.Put(h)
+		}
+		h = out
+	}
+	return h
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// inferEnv builds a small graph, sampled mini-batch, and input features
+// for forward-pass tests.
+func inferEnv(t testing.TB, cfg sample.Config) (*sample.MiniBatch, *tensor.Matrix, int) {
+	t.Helper()
+	g := graph.PreferentialAttachment(graph.GenerateConfig{NumNodes: 400, AvgDegree: 8, Seed: 3})
+	smp := sample.NewSampler(g, cfg, graph.NewRNG(11))
+	seeds := []graph.NodeID{1, 7, 42, 99, 100, 250, 399}
+	mb := smp.Sample(seeds)
+	if err := mb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inDim := 24
+	rng := graph.NewRNG(5)
+	x := tensor.New(mb.Layer1().NumSrc(), inDim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat32()
+	}
+	return mb, x, inDim
+}
+
+// TestPredictMatchesForward checks the inference-only path is
+// bit-identical to the training forward pass for both model families.
+func TestPredictMatchesForward(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(inDim int) *Model
+		smp   sample.Config
+	}{
+		{"sage", func(in int) *Model { return NewGraphSAGE(in, 16, 5, 2) },
+			sample.Config{Fanouts: []int{5, 5}}},
+		{"gat", func(in int) *Model { return NewGAT(in, 8, 2, 5, 2) },
+			sample.Config{Fanouts: []int{5, 5}, IncludeDstInSrc: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mb, x, inDim := inferEnv(t, tc.smp)
+			m := tc.build(inDim)
+			m.Init(graph.NewRNG(7))
+			st := m.Forward(mb, x)
+			logits := m.Predict(mb, x)
+			if logits.Rows != len(mb.Seeds) {
+				t.Fatalf("predict rows = %d, want %d", logits.Rows, len(mb.Seeds))
+			}
+			if d := st.Logits.MaxAbsDiff(logits); d != 0 {
+				t.Fatalf("predict differs from forward by %g", d)
+			}
+			tensor.Put(logits)
+		})
+	}
+}
+
+// TestPredictConcurrent runs Predict from many goroutines against one
+// shared model; the race detector guards the read-only contract.
+func TestPredictConcurrent(t *testing.T) {
+	mb, x, inDim := inferEnv(t, sample.Config{Fanouts: []int{4, 4}})
+	m := NewGraphSAGE(inDim, 16, 5, 2)
+	m.Init(graph.NewRNG(7))
+	want := m.Predict(mb, x)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 20; j++ {
+				got := m.Predict(mb, x)
+				d := want.MaxAbsDiff(got)
+				tensor.Put(got)
+				if d != 0 {
+					done <- nil
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	tensor.Put(want)
+}
+
+// BenchmarkModelPredict measures the inference-only forward; with the
+// tensor pool warm it should run with near-zero allocs/op, unlike the
+// training forward which parks intermediates in layer contexts.
+func BenchmarkModelPredict(b *testing.B) {
+	mb, x, inDim := inferEnv(b, sample.Config{Fanouts: []int{10, 10}})
+	m := NewGraphSAGE(inDim, 32, 8, 2)
+	m.Init(graph.NewRNG(7))
+	tensor.Put(m.Predict(mb, x)) // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Put(m.Predict(mb, x))
+	}
+}
+
+// BenchmarkModelForwardTraining is the training-forward baseline for
+// BenchmarkModelPredict's allocs/op comparison.
+func BenchmarkModelForwardTraining(b *testing.B) {
+	mb, x, inDim := inferEnv(b, sample.Config{Fanouts: []int{10, 10}})
+	m := NewGraphSAGE(inDim, 32, 8, 2)
+	m.Init(graph.NewRNG(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := m.Forward(mb, x)
+		_ = st
+	}
+}

@@ -1,0 +1,253 @@
+// Package serve implements online inference serving over a trained
+// GNN model: a Server answers "predict label/embedding for node(s) X"
+// requests by coalescing concurrent requests into sampled mini-batches
+// (adaptive micro-batching under a dual trigger: max batch size OR max
+// queue delay), executed by a pool of inference workers over the
+// simulated devices. The paper's framing — strategy choice is a
+// data-movement problem over sampled bipartite blocks — applies
+// unchanged at serving time: the workers reuse the unified engine's
+// real-mode block execution, the unified feature store, and the
+// hotness caches, so hot-node requests skip feature loading entirely.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// ErrServerClosed is returned by Predict once Close has begun; queued
+// and in-flight requests still complete (drain semantics).
+var ErrServerClosed = errors.New("serve: server closed")
+
+// UnknownNodeError reports a requested node ID outside the graph.
+type UnknownNodeError struct {
+	Node     graph.NodeID
+	NumNodes int
+}
+
+// Error implements error.
+func (e *UnknownNodeError) Error() string {
+	return fmt.Sprintf("serve: unknown node %d (graph has %d nodes)", e.Node, e.NumNodes)
+}
+
+// Config assembles an inference server.
+type Config struct {
+	// Graph is the data graph the model was trained on.
+	Graph *graph.Graph
+	// Feats are the node input features (required: serving is real
+	// execution, never accounting).
+	Feats *tensor.Matrix
+	// Model is the trained model; only its parameters are read.
+	Model *nn.Model
+	// Sampling configures neighbor sampling per request. Use the
+	// training fanouts for the training-matched latency/accuracy point,
+	// or Method: sample.Full for deterministic answers.
+	Sampling sample.Config
+	// Platform describes the simulated cluster; defaults to
+	// hardware.SingleMachine8GPU.
+	Platform *hardware.Platform
+	// Workers is the inference pool size (one simulated device each);
+	// 0 selects one worker per platform device.
+	Workers int
+	// MaxBatch is the micro-batcher's seed budget per mini-batch
+	// (default 64). A batch closes as soon as its coalesced seed count
+	// reaches MaxBatch.
+	MaxBatch int
+	// MaxDelay is the other half of the dual trigger (default 2ms): a
+	// batch closes no later than MaxDelay after its oldest request was
+	// dequeued, whatever its size.
+	MaxDelay time.Duration
+	// QueueCap bounds the pending-request buffer (default 1024);
+	// Predict blocks while the queue is full (backpressure).
+	QueueCap int
+	// CacheBytes is the per-device feature-cache budget (0 disables
+	// caching).
+	CacheBytes int64
+	// CachePolicy selects the cache rule (default cache.PolicyDegree,
+	// which needs no access trace). Hotness policies require Freq.
+	CachePolicy cache.Policy
+	// Freq are optional per-node access frequencies (e.g. from a
+	// training dry-run) for the hotness cache policies.
+	Freq []int64
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.Graph == nil {
+		return fmt.Errorf("serve: nil graph")
+	}
+	if c.Feats == nil {
+		return fmt.Errorf("serve: nil features (serving requires real features)")
+	}
+	if c.Feats.Rows != c.Graph.NumNodes() {
+		return fmt.Errorf("serve: %d feature rows for %d nodes", c.Feats.Rows, c.Graph.NumNodes())
+	}
+	if c.Model == nil {
+		return fmt.Errorf("serve: nil model")
+	}
+	if c.Platform == nil {
+		c.Platform = hardware.SingleMachine8GPU()
+	}
+	if c.Workers <= 0 || c.Workers > c.Platform.NumDevices() {
+		c.Workers = c.Platform.NumDevices()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.CachePolicy != cache.PolicyDegree && c.Freq == nil {
+		// Hotness policies are meaningless without an access trace.
+		c.CachePolicy = cache.PolicyDegree
+	}
+	return nil
+}
+
+// Result is the prediction for one requested node.
+type Result struct {
+	Node graph.NodeID `json:"node"`
+	// Label is the argmax class.
+	Label int `json:"label"`
+	// Scores are the raw per-class logits.
+	Scores []float32 `json:"scores"`
+}
+
+// pending is one enqueued request.
+type pending struct {
+	nodes []graph.NodeID
+	enq   time.Time
+	res   []Result
+	err   error
+	done  chan struct{}
+}
+
+// Server is an online inference server. Create with New, issue
+// requests with Predict (safe for concurrent use), and stop with
+// Close.
+type Server struct {
+	cfg   Config
+	inf   *engine.Inferencer
+	stats *Stats
+	reqs  chan *pending
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds the feature store (host placement + per-device caches),
+// the inference worker pool, and starts the micro-batcher.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.NumNodes()
+	dim := cfg.Feats.Cols
+	store := cache.NewStore(cfg.Platform, n, dim, cfg.Feats)
+	store.HostByRange()
+	if cfg.CacheBytes > 0 {
+		capNodes := int(cfg.CacheBytes / int64(4*dim))
+		lists := cache.Select(cache.SelectConfig{
+			Policy:        cfg.CachePolicy,
+			Freq:          cfg.Freq,
+			Graph:         cfg.Graph,
+			CapacityNodes: capNodes,
+			Devices:       cfg.Platform.NumDevices(),
+		})
+		for d, l := range lists {
+			store.ConfigureCache(d, l)
+		}
+	}
+	inf, err := engine.NewInferencer(engine.InferConfig{
+		Platform: cfg.Platform,
+		Graph:    cfg.Graph,
+		Store:    store,
+		Model:    cfg.Model,
+		Sampling: cfg.Sampling,
+		Workers:  cfg.Workers,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		inf:  inf,
+		reqs: make(chan *pending, cfg.QueueCap),
+	}
+	s.stats = newStats(cfg.MaxBatch, inf.SimSeconds)
+	for w := 0; w < inf.NumWorkers(); w++ {
+		s.wg.Add(1)
+		go s.worker(inf.Worker(w))
+	}
+	return s, nil
+}
+
+// Predict answers one request: the predicted label and per-class
+// scores for each requested node, in request order (duplicates
+// allowed; they share one sampled computation). It blocks until the
+// micro-batcher has executed the request's batch. Unknown node IDs
+// fail the whole request with an UnknownNodeError before it is
+// enqueued; after Close has begun it fails with ErrServerClosed.
+func (s *Server) Predict(nodes []graph.NodeID) ([]Result, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	n := s.cfg.Graph.NumNodes()
+	for _, v := range nodes {
+		if v < 0 || int(v) >= n {
+			return nil, &UnknownNodeError{Node: v, NumNodes: n}
+		}
+	}
+	p := &pending{nodes: nodes, enq: time.Now(), done: make(chan struct{})}
+	// The read lock spans the enqueue so Close cannot close the channel
+	// between the closed-flag check and the send: Close flips the flag
+	// under the write lock, which waits out every in-flight send.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.stats.recordRejected()
+		return nil, ErrServerClosed
+	}
+	s.reqs <- p
+	s.mu.RUnlock()
+	<-p.done
+	return p.res, p.err
+}
+
+// Stats returns a snapshot of the server's metrics registry.
+func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
+
+// NumWorkers returns the inference pool size.
+func (s *Server) NumWorkers() int { return s.inf.NumWorkers() }
+
+// Close stops the server: new Predict calls fail with ErrServerClosed,
+// while already-queued and in-flight requests drain and complete.
+// Close blocks until every worker has exited and is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.reqs)
+	s.wg.Wait()
+	return nil
+}

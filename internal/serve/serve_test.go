@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// testFixture builds a small dataset and a (randomly initialized)
+// model for serving tests. Full sampling makes every prediction
+// deterministic, so batched and single-request answers must agree
+// bit-for-bit.
+type testFixture struct {
+	ds    *dataset.Dataset
+	model *nn.Model
+	smp   sample.Config
+}
+
+func newFixture(t testing.TB) *testFixture {
+	t.Helper()
+	ds := dataset.Build(dataset.Spec{
+		Name: "serve-test", Abbr: "ST",
+		NumNodes: 600, AvgDegree: 8, FeatDim: 16, Classes: 5,
+		SkewA: 0.45, HomophilyDegree: 4, TrainFraction: 0.3, Seed: 21,
+	}, true)
+	m := nn.NewGraphSAGE(ds.FeatDim, 16, ds.Classes, 2)
+	m.Init(graph.NewRNG(7))
+	return &testFixture{
+		ds:    ds,
+		model: m,
+		smp:   sample.Config{Fanouts: []int{0, 0}, Method: sample.Full},
+	}
+}
+
+func (f *testFixture) server(t testing.TB, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		Graph:    f.ds.Graph,
+		Feats:    f.ds.Feats,
+		Model:    f.model,
+		Sampling: f.smp,
+		Platform: hardware.WithDevices(hardware.SingleMachine8GPU(), 1, 2),
+		MaxBatch: 32,
+		MaxDelay: time.Millisecond,
+		Seed:     3,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// direct computes the reference answer for one node with a fresh
+// sampler and the inference-only forward, no batching involved.
+func (f *testFixture) direct(t testing.TB, v graph.NodeID) []float32 {
+	t.Helper()
+	smp := sample.NewSampler(f.ds.Graph, f.smp, graph.NewRNG(99))
+	mb := smp.Sample([]graph.NodeID{v})
+	x := tensor.Gather(f.ds.Feats, mb.Layer1().Src)
+	logits := f.model.Predict(mb, x)
+	defer tensor.Put(logits)
+	return append([]float32(nil), logits.Row(0)...)
+}
+
+// TestBatchedEqualsSingle fires many concurrent single-node requests
+// (forcing coalesced batches) and checks every answer is bit-identical
+// to unbatched inference, duplicates included.
+func TestBatchedEqualsSingle(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+	defer s.Close()
+
+	nodes := []graph.NodeID{0, 1, 17, 17, 99, 230, 599, 42, 1, 0}
+	want := make(map[graph.NodeID][]float32)
+	for _, v := range nodes {
+		if _, ok := want[v]; !ok {
+			want[v] = f.direct(t, v)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for rep := 0; rep < 8; rep++ {
+		for _, v := range nodes {
+			wg.Add(1)
+			go func(v graph.NodeID) {
+				defer wg.Done()
+				res, err := s.Predict([]graph.NodeID{v})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, w := range want[v] {
+					if res[0].Scores[i] != w {
+						errs <- errors.New("batched scores differ from single-request inference")
+						return
+					}
+				}
+			}(v)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiNodeRequestWithDuplicates checks one request carrying
+// duplicate node IDs gets per-position answers, duplicates equal.
+func TestMultiNodeRequestWithDuplicates(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+	defer s.Close()
+
+	req := []graph.NodeID{7, 7, 300, 7}
+	res, err := s.Predict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(req) {
+		t.Fatalf("got %d results for %d nodes", len(res), len(req))
+	}
+	for i, v := range req {
+		if res[i].Node != v {
+			t.Fatalf("result %d is for node %d, want %d", i, res[i].Node, v)
+		}
+		want := f.direct(t, v)
+		for j, w := range want {
+			if res[i].Scores[j] != w {
+				t.Fatalf("node %d scores differ from single-request inference", v)
+			}
+		}
+	}
+	if res[0].Label != res[1].Label || res[0].Label != res[3].Label {
+		t.Fatal("duplicate nodes got different labels")
+	}
+}
+
+// TestUnknownNode checks out-of-range IDs are rejected with the typed
+// error before reaching the queue.
+func TestUnknownNode(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+	defer s.Close()
+
+	_, err := s.Predict([]graph.NodeID{0, graph.NodeID(f.ds.Graph.NumNodes())})
+	var ue *UnknownNodeError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UnknownNodeError", err)
+	}
+	if int(ue.Node) != f.ds.Graph.NumNodes() {
+		t.Fatalf("error names node %d", ue.Node)
+	}
+	if _, err := s.Predict([]graph.NodeID{-1}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := s.Predict(nil); err != nil {
+		t.Fatalf("empty request errored: %v", err)
+	}
+}
+
+// TestMicroBatchingCoalesces floods one worker and checks batches
+// bigger than one request actually formed.
+func TestMicroBatchingCoalesces(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, func(c *Config) {
+		c.Platform = hardware.WithDevices(hardware.SingleMachine8GPU(), 1, 1)
+		c.MaxDelay = 5 * time.Millisecond
+	})
+	defer s.Close()
+
+	const n = 128
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Predict([]graph.NodeID{graph.NodeID(i % 600)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches >= st.Requests {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, st.Requests)
+	}
+	if st.MaxBatchSeeds <= 1 {
+		t.Fatalf("max batch seeds = %d, want > 1", st.MaxBatchSeeds)
+	}
+	if st.P50Ms <= 0 || st.P95Ms < st.P50Ms || st.P99Ms < st.P95Ms {
+		t.Fatalf("bad percentiles: p50=%v p95=%v p99=%v", st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+	if st.ThroughputRPS <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+// TestFullCacheHitsEverything gives every device a cache big enough
+// for the whole feature matrix; every read must then be a GPU hit.
+func TestFullCacheHitsEverything(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, func(c *Config) {
+		c.CacheBytes = int64(f.ds.Graph.NumNodes()) * int64(4*f.ds.FeatDim)
+	})
+	defer s.Close()
+
+	for i := 0; i < 20; i++ {
+		if _, err := s.Predict([]graph.NodeID{graph.NodeID(i * 13 % 600)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHitRate != 1.0 {
+		t.Fatalf("cache hit rate = %v, want 1.0 (reads: %v)", st.CacheHitRate, st.FeatureReads)
+	}
+	if st.SimSeconds <= 0 {
+		t.Fatal("no simulated time recorded")
+	}
+}
+
+// TestCloseDrainsAndRejects closes the server while requests are in
+// flight: every Predict must either complete with a valid answer or
+// fail with ErrServerClosed, and Predict after Close always fails.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+
+	const n = 200
+	var wg sync.WaitGroup
+	var completed, rejected atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Predict([]graph.NodeID{graph.NodeID(i % 600)})
+			switch {
+			case err == nil:
+				if len(res) != 1 || len(res[0].Scores) != f.ds.Classes {
+					t.Error("drained request returned a malformed result")
+				}
+				completed.Add(1)
+			case errors.Is(err, ErrServerClosed):
+				rejected.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	time.Sleep(500 * time.Microsecond) // let some requests enqueue
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if completed.Load()+rejected.Load() != n {
+		t.Fatalf("completed %d + rejected %d != %d", completed.Load(), rejected.Load(), n)
+	}
+	if _, err := s.Predict([]graph.NodeID{1}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-close Predict: %v, want ErrServerClosed", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestConfigValidation exercises New's error paths.
+func TestConfigValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := New(Config{Feats: f.ds.Feats, Model: f.model, Sampling: f.smp}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(Config{Graph: f.ds.Graph, Model: f.model, Sampling: f.smp}); err == nil {
+		t.Fatal("nil features accepted")
+	}
+	if _, err := New(Config{Graph: f.ds.Graph, Feats: f.ds.Feats, Sampling: f.smp}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// Stats is the server's embedded metrics registry. Latencies go into a
+// log-scale histogram (4 sub-buckets per power-of-two microsecond
+// octave, ~19% worst-case relative error on reported percentiles),
+// batch sizes into a linear histogram. All methods are safe for
+// concurrent use.
+
+// latOctaves spans 1µs .. ~2^26µs (~67s); latSub is the sub-bucket
+// resolution per octave.
+const (
+	latOctaves = 27
+	latSub     = 4
+	latBuckets = latOctaves * latSub
+)
+
+// Stats accumulates serving metrics.
+type Stats struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  int64
+	rejected  int64
+	seeds     int64
+	batches   int64
+	lat       [latBuckets]int64
+	latSum    time.Duration
+	latMax    time.Duration
+	batchHist []int64 // index = coalesced seed count, clamped to cap
+	maxBatch  int64   // largest observed batch (seeds)
+	load      cache.LoadStats
+	simSec    func() float64
+}
+
+func newStats(maxBatch int, simSec func() float64) *Stats {
+	return &Stats{
+		start:     time.Now(),
+		batchHist: make([]int64, maxBatch+1),
+		simSec:    simSec,
+	}
+}
+
+// latBucket maps a latency to its histogram bucket.
+func latBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	// Find the octave (position of the highest set bit), then split it
+	// into latSub linear sub-buckets.
+	oct := 0
+	for v := us; v > 1; v >>= 1 {
+		oct++
+	}
+	lo := int64(1) << oct
+	sub := int((us - lo) * latSub / lo)
+	b := oct*latSub + sub
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// latBucketUpper returns the inclusive upper bound of bucket b.
+func latBucketUpper(b int) time.Duration {
+	oct := b / latSub
+	sub := b % latSub
+	lo := int64(1) << oct
+	return time.Duration(lo+(lo*int64(sub+1))/latSub) * time.Microsecond
+}
+
+// recordBatch folds one executed micro-batch into the registry.
+func (s *Stats) recordBatch(latencies []time.Duration, seeds int, ld cache.LoadStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.seeds += int64(seeds)
+	s.requests += int64(len(latencies))
+	for _, d := range latencies {
+		s.lat[latBucket(d)]++
+		s.latSum += d
+		if d > s.latMax {
+			s.latMax = d
+		}
+	}
+	idx := seeds
+	if idx >= len(s.batchHist) {
+		idx = len(s.batchHist) - 1
+	}
+	s.batchHist[idx]++
+	if int64(seeds) > s.maxBatch {
+		s.maxBatch = int64(seeds)
+	}
+	s.load.Add(ld)
+}
+
+// recordRejected counts a request refused after shutdown began.
+func (s *Stats) recordRejected() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+// percentileLocked returns the approximate q-quantile (0 < q <= 1) of
+// recorded latencies; callers hold s.mu.
+func (s *Stats) percentileLocked(q float64) time.Duration {
+	var total int64
+	for _, c := range s.lat {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for b, c := range s.lat {
+		seen += c
+		if seen > rank {
+			// The bucket's upper bound can overshoot the largest latency
+			// actually recorded; never report past the true max.
+			if u := latBucketUpper(b); u < s.latMax {
+				return u
+			}
+			return s.latMax
+		}
+	}
+	return s.latMax
+}
+
+// BatchBucket is one batch-size histogram entry.
+type BatchBucket struct {
+	Seeds int   `json:"seeds"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of the registry, JSON-ready for the
+// /stats endpoint.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Requests  int64   `json:"requests"`
+	Rejected  int64   `json:"rejected"`
+	Seeds     int64   `json:"seeds"`
+	Batches   int64   `json:"batches"`
+	// ThroughputRPS is completed requests per wall-clock second since
+	// the server started.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MeanBatchSeeds is the average coalesced batch size in seeds.
+	MeanBatchSeeds float64 `json:"mean_batch_seeds"`
+	MaxBatchSeeds  int64   `json:"max_batch_seeds"`
+	// BatchHist lists non-empty batch-size buckets.
+	BatchHist []BatchBucket `json:"batch_hist"`
+	// Latency percentiles over all completed requests, milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// CacheHitRate is the fraction of feature reads served from the
+	// worker's own GPU cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// FeatureReads counts feature rows read per location.
+	FeatureReads map[string]int64 `json:"feature_reads"`
+	// SimSeconds is the simulated device time consumed by inference.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// Snapshot captures the current registry state.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up := time.Since(s.start).Seconds()
+	snap := Snapshot{
+		UptimeSec:     up,
+		Requests:      s.requests,
+		Rejected:      s.rejected,
+		Seeds:         s.seeds,
+		Batches:       s.batches,
+		MaxBatchSeeds: s.maxBatch,
+		P50Ms:         s.percentileLocked(0.50).Seconds() * 1e3,
+		P95Ms:         s.percentileLocked(0.95).Seconds() * 1e3,
+		P99Ms:         s.percentileLocked(0.99).Seconds() * 1e3,
+		MaxMs:         s.latMax.Seconds() * 1e3,
+		FeatureReads:  make(map[string]int64, 4),
+	}
+	if up > 0 {
+		snap.ThroughputRPS = float64(s.requests) / up
+	}
+	if s.batches > 0 {
+		snap.MeanBatchSeeds = float64(s.seeds) / float64(s.batches)
+	}
+	if s.requests > 0 {
+		snap.MeanMs = (s.latSum / time.Duration(s.requests)).Seconds() * 1e3
+	}
+	for sz, c := range s.batchHist {
+		if c > 0 {
+			snap.BatchHist = append(snap.BatchHist, BatchBucket{Seeds: sz, Count: c})
+		}
+	}
+	var totalReads int64
+	for loc, n := range s.load.Nodes {
+		if n > 0 {
+			snap.FeatureReads[cache.Location(loc).String()] = n
+		}
+		totalReads += n
+	}
+	if totalReads > 0 {
+		snap.CacheHitRate = float64(s.load.Nodes[cache.LocGPU]) / float64(totalReads)
+	}
+	if s.simSec != nil {
+		snap.SimSeconds = s.simSec()
+	}
+	return snap
+}
