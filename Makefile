@@ -10,12 +10,13 @@ test:
 
 # verify is the pre-merge gate: vet + build everything (including the
 # serving daemon), then run the concurrency-heavy packages (pipelined
-# engine, pooled kernels, inference server) under the race detector.
+# engine, pooled kernels, inference server, span/metrics collection)
+# under the race detector.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
-	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/...
+	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -3,27 +3,26 @@ package repro
 // Public facade: the user-facing API of APT-Go, re-exported from the
 // internal packages so downstream modules can import module path
 // "repro" directly (Go's internal/ rule restricts import paths, not
-// type identity). The facade mirrors how a user of the paper's system
-// interacts with it: describe a task, let APT plan, train.
+// type identity). The surface is structured by concern:
+//
+//	apt.go     — the core system: tasks, planning, training
+//	data.go    — graphs, datasets, platforms, partitioning
+//	serving.go — online inference serving
+//	observe.go — observability: spans, metrics, Chrome traces
+//
+// The facade mirrors how a user of the paper's system interacts with
+// it: describe a task, let APT plan, train, observe.
 //
 //	task := repro.Task{ Graph: g, NewModel: ..., Platform: repro.SingleMachine8GPU(), ... }
-//	apt, err := repro.NewAPT(task)
+//	apt, err := repro.NewAPT(task, repro.WithTracePath("run.json"))
 //	result, err := apt.Train(10)
 
 import (
-	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/fullgraph"
-	"repro/internal/graph"
-	"repro/internal/hardware"
 	"repro/internal/nn"
-	"repro/internal/partition"
-	"repro/internal/sample"
-	"repro/internal/serve"
 	"repro/internal/strategy"
-	"repro/internal/tensor"
 )
 
 // Core system types.
@@ -39,9 +38,18 @@ type (
 	Estimate = core.Estimate
 	// CostModel converts dry-run volumes into time estimates.
 	CostModel = core.CostModel
+	// EpochStats is one epoch's time decomposition and volumes.
+	EpochStats = engine.EpochStats
+	// Model is a GNN model.
+	Model = nn.Model
+	// Optimizer updates model parameters.
+	Optimizer = nn.Optimizer
+	// FullGraphConfig configures the full-graph training baseline.
+	FullGraphConfig = fullgraph.Config
 )
 
-// Strategy identifiers.
+// Strategy identifies a parallelization strategy; its String method
+// and ParseStrategy round-trip the canonical names.
 type Strategy = strategy.Kind
 
 // The parallelization strategies.
@@ -53,64 +61,24 @@ const (
 	Hybrid = strategy.Hybrid
 )
 
+// CoreStrategies lists the four strategies APT's planner selects
+// among.
+var CoreStrategies = strategy.Core
+
+// ParseStrategy converts a strategy name ("GDP", "dnp", ...) to its
+// Strategy; the inverse of Strategy.String.
+var ParseStrategy = strategy.Parse
+
 // Full-graph trainer modes.
 const (
 	FullGraphReal       = fullgraph.Real
 	FullGraphAccounting = fullgraph.Accounting
 )
 
-// Data types.
-type (
-	// Graph is a CSR graph; NodeID indexes its nodes.
-	Graph  = graph.Graph
-	NodeID = graph.NodeID
-	// Matrix is a dense float32 matrix (features, embeddings).
-	Matrix = tensor.Matrix
-	// Model is a GNN model; Layer one of its layers.
-	Model = nn.Model
-	// Platform describes a simulated training cluster.
-	Platform = hardware.Platform
-	// Partitioning assigns nodes to devices.
-	Partitioning = partition.Partitioning
-	// SamplingConfig selects the graph-sampling algorithm.
-	SamplingConfig = sample.Config
-	// EpochStats is one epoch's time decomposition and volumes.
-	EpochStats = engine.EpochStats
-	// Dataset is a materialized synthetic dataset preset.
-	Dataset = dataset.Dataset
-	// DatasetSpec describes a synthetic dataset.
-	DatasetSpec = dataset.Spec
-	// FullGraphConfig configures the full-graph training baseline.
-	FullGraphConfig = fullgraph.Config
-	// PartitionConfig tunes the multilevel partitioner.
-	PartitionConfig = partition.MultilevelConfig
-	// CachePolicy selects a feature-cache rule.
-	CachePolicy = cache.Policy
-	// Optimizer updates model parameters.
-	Optimizer = nn.Optimizer
-)
-
-// Online inference serving (package internal/serve): a Server answers
-// Predict requests over a trained model with adaptive micro-batching.
-type (
-	// Server is the online inference server; issue requests with
-	// Server.Predict and stop with Server.Close.
-	Server = serve.Server
-	// ServeConfig configures Serve.
-	ServeConfig = serve.Config
-	// PredictResult is one node's prediction.
-	PredictResult = serve.Result
-	// ServeStats is a snapshot of a Server's metrics registry
-	// (latency percentiles, throughput, batch sizes, cache hit rate).
-	ServeStats = serve.Snapshot
-)
-
-// ErrServerClosed is returned by Server.Predict after Server.Close.
-var ErrServerClosed = serve.ErrServerClosed
-
-// Constructors and entry points.
+// Constructors and entry points of the core system.
 var (
-	// NewAPT validates a task and creates the system.
+	// NewAPT validates a task and creates the system. Observability
+	// options (WithObserver, WithTracePath) attach observers to the run.
 	NewAPT = core.New
 	// NewGraphSAGE and NewGAT build the paper's evaluation models.
 	NewGraphSAGE = nn.NewGraphSAGE
@@ -118,25 +86,10 @@ var (
 	// NewSGD and NewAdam build optimizers.
 	NewSGD  = nn.NewSGD
 	NewAdam = nn.NewAdam
-	// SingleMachine8GPU and FourMachines4GPU are the paper's platforms.
-	SingleMachine8GPU = hardware.SingleMachine8GPU
-	FourMachines4GPU  = hardware.FourMachines4GPU
-	// WithDevices adjusts a platform's topology.
-	WithDevices = hardware.WithDevices
-	// MultilevelPartition is the METIS-style partitioner.
-	MultilevelPartition = partition.Multilevel
-	// BuildDataset materializes a synthetic dataset preset.
-	BuildDataset = dataset.Build
-	// DatasetPresets lists the paper's three evaluation datasets.
-	DatasetPresets = dataset.Presets
-	// ReadEdgeList parses a SNAP-style text edge list.
-	ReadEdgeList = graph.ReadEdgeList
 	// Evaluate computes test accuracy of a trained model.
 	Evaluate = engine.Evaluate
 	// DescribePlan renders a strategy's adapted execution plan.
 	DescribePlan = engine.DescribePlan
 	// NewFullGraphTrainer builds the full-graph training baseline.
 	NewFullGraphTrainer = fullgraph.New
-	// Serve starts an online inference server over a trained model.
-	Serve = serve.New
 )

@@ -19,7 +19,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/sample"
 )
 
 func main() {
@@ -30,8 +36,14 @@ func main() {
 		epochs = flag.Int("epochs", 2, "measured epochs per configuration")
 		batch  = flag.Int("batch", 64, "per-GPU mini-batch size")
 		out    = flag.String("o", "", "also append reports to this file")
+		trace  = flag.String("trace", "", "run a pipelined training pass and write its Chrome trace to this file")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		traceRun(*trace, *scale, *devs, *epochs, *batch)
+		return
+	}
 
 	var outFile *os.File
 	if *out != "" {
@@ -111,4 +123,46 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "aptbench: unknown experiment %q\n", *exp)
 	os.Exit(2)
+}
+
+// traceRun captures one pipelined training run through the
+// observability options: APT plans and trains with span collection on,
+// the Chrome trace lands at path, and the run's metrics registry is
+// dumped in the text exposition format.
+func traceRun(path string, scale float64, devs, epochs, batch int) {
+	spec, err := dataset.ByAbbr("FS", scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aptbench:", err)
+		os.Exit(1)
+	}
+	spec.HomophilyDegree = 6
+	ds := dataset.Build(spec, false) // accounting mode: timing structure only
+	task := core.Task{
+		Graph:   ds.Graph,
+		FeatDim: spec.FeatDim,
+		Seeds:   ds.TrainSeeds,
+		NewModel: func() *nn.Model {
+			return nn.NewGraphSAGE(spec.FeatDim, 32, spec.Classes, 2)
+		},
+		Sampling:   sample.Config{Fanouts: []int{10, 10}},
+		BatchSize:  batch,
+		Platform:   hardware.WithDevices(hardware.SingleMachine8GPU(), 1, devs),
+		CacheBytes: ds.CacheBytesFraction(0.08),
+		Pipeline:   true,
+		Seed:       7,
+	}
+	apt, err := core.New(task, obs.WithTracePath(path))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aptbench:", err)
+		os.Exit(1)
+	}
+	res, err := apt.Train(epochs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aptbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced %d pipelined epoch(s) under %v on %d devices\n",
+		len(res.Epochs), res.Choice, devs)
+	fmt.Printf("chrome trace written to %s (load in chrome://tracing)\n\n", path)
+	fmt.Print(apt.Metrics().Exposition())
 }

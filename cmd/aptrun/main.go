@@ -18,8 +18,10 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/strategy"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the adapted execution plan before training")
 		timeline = flag.Bool("timeline", false, "print per-step stage times for the last epoch")
 		save     = flag.String("save", "", "checkpoint the trained model to this file")
+		tracePth = flag.String("trace", "", "write a Chrome trace of the run's spans to this file (chrome://tracing)")
+		metrics  = flag.Bool("metrics", false, "dump the metrics registry (text exposition format) on exit")
 	)
 	flag.Parse()
 
@@ -78,7 +82,11 @@ func main() {
 		RecordTimeline: *timeline,
 		Seed:           7,
 	}
-	apt, err := core.New(task)
+	var opts []obs.Option
+	if *tracePth != "" {
+		opts = append(opts, obs.WithTracePath(*tracePth))
+	}
+	apt, err := core.New(task, opts...)
 	fatal(err)
 
 	choice := strategy.GDP
@@ -105,6 +113,7 @@ func main() {
 	var lastStats engine.EpochStats
 	for ep := 1; ep <= *epochs; ep++ {
 		st := eng.RunEpoch()
+		engine.RecordEpochMetrics(apt.Metrics(), st)
 		lastStats = st
 		line := fmt.Sprintf("epoch %2d  sim %.4fs  %s", ep, st.EpochTime(), st.String())
 		if !*simulate {
@@ -121,6 +130,14 @@ func main() {
 	if *save != "" {
 		fatal(eng.Model(0).SaveFile(*save))
 		fmt.Printf("model checkpoint written to %s\n", *save)
+	}
+	if *tracePth != "" {
+		fatal(obs.WriteChromeTraceFile(*tracePth, apt.Spans()))
+		fmt.Printf("chrome trace written to %s (load in chrome://tracing)\n", *tracePth)
+		fmt.Print(trace.RenderSpanBars("per-track span totals:", apt.Spans(), nil))
+	}
+	if *metrics {
+		fmt.Print(apt.Metrics().Exposition())
 	}
 }
 

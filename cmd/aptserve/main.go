@@ -9,7 +9,8 @@
 //	aptserve -data FS -model sage -hidden 32 -checkpoint /tmp/fs.ckpt -addr :8399
 //
 //	curl -s localhost:8399/predict -d '{"nodes":[1,2,3]}'
-//	curl -s localhost:8399/stats
+//	curl -s localhost:8399/stats     # JSON snapshot
+//	curl -s localhost:8399/metrics   # text exposition format
 //	curl -s localhost:8399/healthz
 //
 // Or train in-process and benchmark the serving path:
@@ -235,6 +236,10 @@ func serveHTTP(srv *serve.Server, addr string) {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(srv.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		srv.Metrics().WriteExposition(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

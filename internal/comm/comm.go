@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/hardware"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -48,6 +49,14 @@ type Comm struct {
 	Ledger *Ledger
 	n      int
 	boxes  [][]chan Payload // boxes[src][dst], buffered depth 1
+	// Spans, when non-nil, holds one observability track per device on
+	// which every collective emits a span (operator name, bytes moved,
+	// charged seconds). Spans[dev] is only touched from dev's own
+	// goroutine. SpanBase, when non-nil, offsets span start times (the
+	// engine advances it between epochs); it is only written while no
+	// device goroutines run.
+	Spans    []*obs.Track
+	SpanBase *float64
 }
 
 // New creates the communication fabric for a device group.
@@ -105,7 +114,52 @@ func (c *Comm) chargePairwise(dev int, stage, op string, sendTo, recvFrom []int6
 	if rt := dirTime(recvBytes); rt > t {
 		t = rt
 	}
-	c.Group.Devices[dev].Charge(stage, t)
+	var wire int64
+	for kind := range sendBytes {
+		wire += sendBytes[kind] + recvBytes[kind]
+	}
+	c.chargeWithSpan(dev, stage, op, t, wire)
+}
+
+// chargeWithSpan charges secs to the device's stage clock and, when
+// observability is on, records the collective as a span on the
+// device's comm track. The span sits on the device's compute-side
+// serialized clock — the cumulative build/load/train/shuffle time when
+// the collective started. Collectives only charge those stages, and
+// they are owned serially by the device's compute goroutine, so the
+// axis is strictly monotone and independent of how a concurrent
+// prefetcher interleaves sample-clock charges.
+func (c *Comm) chargeWithSpan(dev int, stage, op string, secs float64, bytes int64) {
+	d := c.Group.Devices[dev]
+	if c.Spans == nil {
+		d.Charge(stage, secs)
+		return
+	}
+	start := d.Elapsed(device.StageBuild) + d.Elapsed(device.StageLoad) +
+		d.Elapsed(device.StageTrain) + d.Elapsed(device.StageShuffle)
+	d.Charge(stage, secs)
+	if c.SpanBase != nil {
+		start += *c.SpanBase
+	}
+	c.Spans[dev].Emit(op, -1, start, secs, bytes)
+}
+
+// AnyTrue exchanges one boolean among all devices and returns their
+// disjunction — the collective the engine uses to agree on context
+// cancellation at step boundaries. Every device must call it at the
+// same point; no simulated time is charged.
+func (c *Comm) AnyTrue(dev int, v bool) bool {
+	var b int64
+	if v {
+		b = 1
+	}
+	any := false
+	for _, p := range c.AllGatherNoCharge(dev, Payload{Bytes: b}) {
+		if p.Bytes != 0 {
+			any = true
+		}
+	}
+	return any
 }
 
 // AllToAll exchanges outs[j] (destined to device j) among all devices
@@ -177,7 +231,7 @@ func (c *Comm) AllReduce(dev int, stage string, mat *tensor.Matrix, bytes int64)
 	}
 	wire := int64(2 * float64(bytes) * float64(c.n-1) / float64(c.n))
 	t := p.Latency[kind]*float64(2*(c.n-1)) + float64(wire)/ringBW
-	c.Group.Devices[dev].Charge(stage, t)
+	c.chargeWithSpan(dev, stage, "allreduce", t, wire)
 	c.Ledger.Add("allreduce", kind, wire)
 	return result
 }

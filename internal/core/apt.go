@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/strategy"
 )
@@ -36,15 +38,36 @@ type APT struct {
 
 	prepared bool
 	planned  bool
+
+	// Observability: reg always exists (epoch metrics fold into it);
+	// spans is created only when an option asked for span collection.
+	obsO  obs.Options
+	reg   *obs.Registry
+	spans *obs.Collector
 }
 
-// New validates the task and creates the system.
-func New(task Task) (*APT, error) {
+// New validates the task and creates the system. Options attach
+// observers: obs.WithTracePath exports a Chrome trace of the training
+// run's spans when Train finishes, obs.WithObserver receives the span
+// tracks and the metrics registry.
+func New(task Task, opts ...obs.Option) (*APT, error) {
 	if err := task.normalize(); err != nil {
 		return nil, err
 	}
-	return &APT{task: task}, nil
+	a := &APT{task: task, obsO: obs.BuildOptions(opts...), reg: obs.NewRegistry()}
+	if a.obsO.Enabled() {
+		a.spans = obs.NewCollector()
+	}
+	return a, nil
 }
+
+// Metrics returns the system's metrics registry; Train folds each
+// epoch's volumes and stage times into it (apt_engine_* series).
+func (a *APT) Metrics() *obs.Registry { return a.reg }
+
+// Spans returns the span collector, or nil when no observability
+// option requested span collection.
+func (a *APT) Spans() *obs.Collector { return a.spans }
 
 // Task returns the normalized task.
 func (a *APT) Task() *Task { return &a.task }
@@ -216,7 +239,9 @@ func (a *APT) BuildEngine(k strategy.Kind) (*engine.Engine, error) {
 		mode = engine.Real
 	}
 	store := a.buildStore(k, a.dryRun.Freq, mode == engine.Real)
-	return engine.New(a.engineConfig(k, store, mode))
+	cfg := a.engineConfig(k, store, mode)
+	cfg.Spans = a.spans
+	return engine.New(cfg)
 }
 
 // Result summarizes a Train run.
@@ -245,18 +270,33 @@ func (r *Result) SimulatedEpochSeconds() float64 {
 // Train runs the full APT pipeline: Prepare, Plan, Adapt, and epochs
 // of training under the selected strategy.
 func (a *APT) Train(epochs int) (*Result, error) {
+	return a.TrainContext(context.Background(), epochs)
+}
+
+// TrainContext is Train under a context: cancellation stops the run
+// cleanly at the next synchronized step boundary and returns the
+// epochs that completed alongside ctx.Err().
+func (a *APT) TrainContext(ctx context.Context, epochs int) (*Result, error) {
 	if epochs <= 0 {
 		return nil, fmt.Errorf("core: epochs = %d", epochs)
 	}
 	if _, err := a.Plan(); err != nil {
 		return nil, err
 	}
-	return a.TrainWith(a.Choice, epochs)
+	return a.TrainWithContext(ctx, a.Choice, epochs)
 }
 
 // TrainWith trains under a pinned strategy (used by the benchmarks to
 // evaluate every strategy, and by users who want to override APT).
 func (a *APT) TrainWith(k strategy.Kind, epochs int) (*Result, error) {
+	return a.TrainWithContext(context.Background(), k, epochs)
+}
+
+// TrainWithContext is TrainWith under a context. Whatever ends the
+// run — completion or cancellation — the observability options flush:
+// the Chrome trace file is written and any observer sees the span
+// tracks and metrics collected so far.
+func (a *APT) TrainWithContext(ctx context.Context, k strategy.Kind, epochs int) (*Result, error) {
 	e, err := a.BuildEngine(k)
 	if err != nil {
 		return nil, err
@@ -266,9 +306,19 @@ func (a *APT) TrainWith(k strategy.Kind, epochs int) (*Result, error) {
 		Estimates:       a.Estimates,
 		PlanWallSeconds: a.PlanWallSeconds,
 	}
+	var runErr error
 	for i := 0; i < epochs; i++ {
-		res.Epochs = append(res.Epochs, e.RunEpoch())
+		st, err := e.RunEpochContext(ctx)
+		engine.RecordEpochMetrics(a.reg, st)
+		if err != nil {
+			runErr = err
+			break
+		}
+		res.Epochs = append(res.Epochs, st)
 	}
 	res.Model = e.Model(0)
-	return res, nil
+	if err := a.obsO.Flush(a.spans, a.reg); err != nil && runErr == nil {
+		runErr = err
+	}
+	return res, runErr
 }

@@ -19,7 +19,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/comm"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/strategy"
 	"repro/internal/tensor"
@@ -96,6 +99,12 @@ type Config struct {
 	// PipelineDepth bounds how many sampled batches may wait ahead of
 	// compute (<=0 selects the default of 2).
 	PipelineDepth int
+	// Spans, when non-nil, collects per-step spans (stage, device,
+	// step, bytes, simulated clock) onto one track per device — plus a
+	// sampler track and a comm track each — for the Chrome trace and
+	// text timeline exporters. Nil keeps the hot path allocation-free:
+	// every emission point is a nil *obs.Track no-op.
+	Spans *obs.Collector
 }
 
 // Engine executes GNN training under one strategy.
@@ -109,6 +118,10 @@ type Engine struct {
 	runner   layer1Runner
 	epochRNG *graph.RNG
 	workers  []*worker
+	// spanBase offsets span start times by the simulated time of all
+	// previous epochs, so a multi-epoch trace reads as one timeline
+	// (device clocks reset every epoch).
+	spanBase float64
 }
 
 // layer1Runner executes the strategy-specific first layer.
@@ -133,6 +146,15 @@ type worker struct {
 	// overlapped schedule (pipelined mode only); kept off WorkerStats so
 	// aggregation maxes it instead of summing.
 	pipelinedSec float64
+	// spanDev/spanSmp are the worker's span tracks (nil when
+	// observability is off); spanCursor is the device track's position
+	// on the simulated clock within the current epoch.
+	spanDev    *obs.Track
+	spanSmp    *obs.Track
+	spanCursor float64
+	// stopPrefetch tells the worker's prefetch goroutine to quit early
+	// after the compute loop agreed on cancellation.
+	stopPrefetch atomic.Bool
 }
 
 func (w *worker) real() bool { return w.eng.cfg.Mode == Real }
@@ -222,6 +244,20 @@ func New(cfg Config) (*Engine, error) {
 			stats: &WorkerStats{},
 		})
 	}
+	if cfg.Spans != nil {
+		for d := 0; d < n; d++ {
+			e.workers[d].spanDev = cfg.Spans.AddTrack("device", fmt.Sprintf("dev%d", d))
+		}
+		for d := 0; d < n; d++ {
+			e.workers[d].spanSmp = cfg.Spans.AddTrack("sampler", fmt.Sprintf("dev%d/sampler", d))
+		}
+		links := make([]*obs.Track, n)
+		for d := 0; d < n; d++ {
+			links[d] = cfg.Spans.AddTrack("comm", fmt.Sprintf("dev%d/comm", d))
+		}
+		e.Comm.Spans = links
+		e.Comm.SpanBase = &e.spanBase
+	}
 	return e, nil
 }
 
@@ -254,32 +290,66 @@ func (e *Engine) EnablePipeline(depth int) {
 
 // RunEpoch executes one training epoch and returns its statistics.
 func (e *Engine) RunEpoch() EpochStats {
+	st, _ := e.RunEpochContext(context.Background())
+	return st
+}
+
+// RunEpochContext executes one training epoch under ctx. Cancellation
+// stops the epoch cleanly at the next synchronized step boundary: the
+// decision is taken collectively (every worker exchanges its view of
+// ctx before each step), so the lockstep collectives never deadlock on
+// a worker that stopped early. The returned statistics cover the steps
+// that actually ran; the error is ctx.Err() when the epoch was cut
+// short, nil otherwise. A background (non-cancellable) context adds no
+// per-step synchronization.
+func (e *Engine) RunEpochContext(ctx context.Context) (EpochStats, error) {
 	e.Group.ResetClocks()
 	for _, w := range e.workers {
 		*w.stats = WorkerStats{}
 		w.pipelinedSec = 0
+		w.spanCursor = 0
+		w.stopPrefetch.Store(false)
 	}
 	plan := e.seedPlan()
 	nb := plan.NumBatches(e.cfg.BatchSize)
 	comm.RunParallel(len(e.workers), func(dev int) {
 		if e.cfg.Pipeline {
-			e.workerEpochPipelined(e.workers[dev], plan, nb)
+			e.workerEpochPipelined(ctx, e.workers[dev], plan, nb)
 		} else {
-			e.workerEpoch(e.workers[dev], plan, nb)
+			e.workerEpoch(ctx, e.workers[dev], plan, nb)
 		}
 	})
-	return e.collectStats(nb)
+	st := e.collectStats(nb)
+	if e.cfg.Spans != nil {
+		// Advance the trace time base by the serialized epoch time: every
+		// device's per-epoch clock is bounded by it, so epochs never
+		// overlap on the exported timeline.
+		e.spanBase += st.EpochTime()
+	}
+	return st, ctx.Err()
+}
+
+// stopAgreed decides cancellation collectively: all workers exchange
+// their view of ctx and stop if any of them saw it cancelled. Workers
+// must call it at the same step boundaries.
+func (e *Engine) stopAgreed(ctx context.Context, w *worker) bool {
+	return e.Comm.AnyTrue(w.dev.ID, ctx.Err() != nil)
 }
 
 // workerEpoch drives one device through all synchronized steps.
-func (e *Engine) workerEpoch(w *worker, plan *sample.SeedPlan, numBatches int) {
+func (e *Engine) workerEpoch(ctx context.Context, w *worker, plan *sample.SeedPlan, numBatches int) {
 	B := e.cfg.BatchSize
+	cancellable := ctx.Done() != nil
+	record := e.cfg.RecordTimeline
 	var snap stageSnapshot
-	if e.cfg.RecordTimeline {
+	if record || w.spanDev != nil {
 		w.timeline = w.timeline[:0]
 		snap = snapshotOf(w.dev)
 	}
 	for step := 0; step < numBatches; step++ {
+		if cancellable && e.stopAgreed(ctx, w) {
+			break
+		}
 		seeds := plan.Batch(w.dev.ID, step, B)
 		var mb *sample.MiniBatch
 		if e.cfg.PreSampled != nil {
@@ -296,10 +366,41 @@ func (e *Engine) workerEpoch(w *worker, plan *sample.SeedPlan, numBatches int) {
 		w.stats.SampledEdges += edges
 
 		e.computeStep(w, plan, step, seeds, mb)
-		if e.cfg.RecordTimeline {
-			snap = w.recordStep(step, snap)
+		if record || w.spanDev != nil {
+			cur := snapshotOf(w.dev)
+			st := stepDelta(step, snap, cur)
+			snap = cur
+			if record {
+				w.timeline = append(w.timeline, st)
+			}
+			w.emitSyncSpans(st)
 		}
 	}
+}
+
+// emitSyncSpans lays one synchronous step's stages end to end on the
+// worker's device track: under synchronous execution the stages really
+// do serialize on the device, so the span timeline is the truth, not a
+// rendering choice.
+func (w *worker) emitSyncSpans(st StepTrace) {
+	if w.spanDev == nil {
+		return
+	}
+	cur := w.eng.spanBase + w.spanCursor
+	for _, sp := range [5]struct {
+		stage string
+		dur   float64
+	}{
+		{device.StageSample, st.SampleSec},
+		{device.StageBuild, st.BuildSec},
+		{device.StageLoad, st.LoadSec},
+		{device.StageTrain, st.TrainSec},
+		{device.StageShuffle, st.ShuffSec},
+	} {
+		w.spanDev.Emit(sp.stage, st.Step, cur, sp.dur, 0)
+		cur += sp.dur
+	}
+	w.spanCursor = cur - w.eng.spanBase
 }
 
 // computeStep runs everything past sampling for one mini-batch: the

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/tensor"
 )
@@ -55,6 +56,10 @@ type InferWorker struct {
 	inf     *Inferencer
 	dev     *device.Device
 	sampler *sample.Sampler
+	// span, when non-nil, receives one sample/load/train span per batch
+	// on the worker's serialized device clock; batchSeq numbers them.
+	span     *obs.Track
+	batchSeq int
 }
 
 // NewInferencer validates the configuration and builds the worker pool.
@@ -94,6 +99,15 @@ func NewInferencer(cfg InferConfig) (*Inferencer, error) {
 	return inf, nil
 }
 
+// AttachSpans gives every worker a span track in c; each inference
+// batch then emits sample/load/train spans positioned on the worker's
+// serialized device clock. Call before any Infer runs.
+func (inf *Inferencer) AttachSpans(c *obs.Collector) {
+	for i, w := range inf.workers {
+		w.span = c.AddTrack("infer", fmt.Sprintf("worker%d", i))
+	}
+}
+
 // NumWorkers returns the pool size.
 func (inf *Inferencer) NumWorkers() int { return len(inf.workers) }
 
@@ -120,14 +134,32 @@ func (w *InferWorker) Device() *device.Device { return w.dev }
 // caller should tensor.Put them when done) and the batch's feature-load
 // statistics, whose location counts give the cache hit rate.
 func (w *InferWorker) Infer(seeds []graph.NodeID) (*tensor.Matrix, cache.LoadStats) {
+	step := -1
+	mark := 0.0
+	if w.span != nil {
+		step = w.batchSeq
+		w.batchSeq++
+		mark = w.dev.TotalElapsed()
+	}
+	emit := func(stage string, bytes int64) {
+		if w.span == nil {
+			return
+		}
+		now := w.dev.TotalElapsed()
+		w.span.Emit(stage, step, mark, now-mark, bytes)
+		mark = now
+	}
+
 	mb := w.sampler.Sample(seeds)
 	var edges int64
 	for _, b := range mb.Blocks {
 		edges += b.NumEdges()
 	}
 	w.dev.Charge(device.StageSample, w.inf.cfg.Platform.SampleTime(edges))
+	emit(device.StageSample, 0)
 
 	x, st := w.inf.cfg.Store.Load(w.dev, mb.Layer1().Src)
+	emit(device.StageLoad, x.Bytes())
 	for l, layer := range w.inf.cfg.Model.Layers {
 		blk := mb.Blocks[l]
 		dense, sparse := layerFLOPs(layer, int64(blk.NumSrc()), blk.NumEdges())
@@ -135,6 +167,7 @@ func (w *InferWorker) Infer(seeds []graph.NodeID) (*tensor.Matrix, cache.LoadSta
 		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.SparseTime(sparse))
 	}
 	logits := w.inf.cfg.Model.Predict(mb, x)
+	emit(device.StageTrain, 0)
 	tensor.Put(x)
 	return logits, st
 }

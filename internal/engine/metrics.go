@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // WorkerStats accumulates per-device counters over one epoch. The
@@ -150,6 +151,49 @@ func (s EpochStats) String() string {
 		b.WriteString(" [OOM]")
 	}
 	return b.String()
+}
+
+// RecordEpochMetrics folds one epoch's volumes and stage times into
+// the metrics registry under the apt_engine_* namespace — the unified
+// home of the epoch volume accounting the cost models consume.
+// Counters accumulate across epochs; gauges hold the last epoch.
+func RecordEpochMetrics(r *obs.Registry, st EpochStats) {
+	if r == nil {
+		return
+	}
+	r.Counter("apt_engine_epochs_total", "Training epochs completed.").Inc()
+	r.Counter("apt_engine_steps_total", "Synchronized mini-batch steps executed.").Add(int64(st.NumBatches))
+	r.Counter("apt_engine_seeds_total", "Training seeds processed.").Add(st.Totals.SeedsProcessed)
+	r.Counter("apt_engine_sampled_edges_total", "Edges drawn by graph sampling.").Add(st.Totals.SampledEdges)
+	r.Counter("apt_engine_layer1_dst_total", "Layer-1 destination nodes processed (N_d).").Add(st.Totals.Layer1Dst)
+	r.Counter("apt_engine_virtual_nodes_total", "Remote virtual nodes created (SNP/DNP).").Add(st.Totals.VirtualNodes)
+	r.Counter("apt_engine_graph_shuffle_bytes_total", "Sampled-subgraph shipping volume (T_build).").Add(st.Totals.GraphShuffleBytes())
+	r.Counter("apt_engine_hidden_shuffle_bytes_total", "Hidden-embedding shipping volume (T_shuffle).").Add(st.Totals.HiddenShuffleBytes())
+	r.Counter("apt_engine_collective_calls_total", "Collective operations issued.").Add(
+		st.Totals.BuildA2ACalls + st.Totals.BuildBcastCalls + st.Totals.ShufA2ACalls + st.Totals.ShufBcastCalls)
+	var reads, gpuReads int64
+	for loc, n := range st.Totals.Load.Nodes {
+		reads += n
+		if cache.Location(loc) == cache.LocGPU {
+			gpuReads = n
+		}
+	}
+	r.Counter("apt_engine_feature_reads_total", "Feature rows read.").Add(reads)
+	r.Counter("apt_engine_feature_cache_hits_total", "Feature rows served by the local GPU cache.").Add(gpuReads)
+
+	r.Gauge("apt_engine_epoch_seconds", "Last epoch's simulated time (synchronous stages).").Set(st.EpochTime())
+	r.Gauge("apt_engine_sample_seconds", "Last epoch's graph-sampling time.").Set(st.SampleSec)
+	r.Gauge("apt_engine_build_seconds", "Last epoch's computation-graph shuffle time (T_build).").Set(st.BuildSec)
+	r.Gauge("apt_engine_load_seconds", "Last epoch's feature-loading time (T_load).").Set(st.LoadSec)
+	r.Gauge("apt_engine_train_seconds", "Last epoch's model-computation time (T_train).").Set(st.TrainSec)
+	r.Gauge("apt_engine_shuffle_seconds", "Last epoch's hidden-embedding shuffle time (T_shuffle).").Set(st.ShuffleSec)
+	r.Gauge("apt_engine_pipelined_seconds", "Last epoch's measured overlapped time (0 when synchronous).").Set(st.MeasuredPipelinedSec)
+	r.Gauge("apt_engine_mean_loss", "Last epoch's mean global mini-batch loss (real mode).").Set(st.MeanLoss)
+	oom := 0.0
+	if st.OOM {
+		oom = 1
+	}
+	r.Gauge("apt_engine_oom", "1 when any device overflowed its memory last epoch.").Set(oom)
 }
 
 // collectStats folds worker counters and device clocks into EpochStats.

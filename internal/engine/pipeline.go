@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/sample"
@@ -59,6 +61,9 @@ func (e *Engine) runPrefetcher(w *worker, plan *sample.SeedPlan, numBatches int,
 	defer close(out)
 	B := e.cfg.BatchSize
 	for step := 0; step < numBatches; step++ {
+		if w.stopPrefetch.Load() {
+			return // compute loop agreed on cancellation
+		}
 		seeds := plan.Batch(w.dev.ID, step, B)
 		var mb *sample.MiniBatch
 		if e.cfg.PreSampled != nil {
@@ -86,13 +91,15 @@ func nonSampleElapsed(d *device.Device) float64 {
 
 // workerEpochPipelined drives one device with sampling prefetched on a
 // side goroutine, tracking the overlapped simulated schedule.
-func (e *Engine) workerEpochPipelined(w *worker, plan *sample.SeedPlan, numBatches int) {
+func (e *Engine) workerEpochPipelined(ctx context.Context, w *worker, plan *sample.SeedPlan, numBatches int) {
 	depth := e.pipelineDepth()
+	cancellable := ctx.Done() != nil
 	ch := make(chan prefetched, depth)
 	go e.runPrefetcher(w, plan, numBatches, ch)
 
+	record := e.cfg.RecordTimeline
 	var snap stageSnapshot
-	if e.cfg.RecordTimeline {
+	if record || w.spanDev != nil {
 		w.timeline = w.timeline[:0]
 		snap = snapshotOf(w.dev)
 	}
@@ -100,8 +107,17 @@ func (e *Engine) workerEpochPipelined(w *worker, plan *sample.SeedPlan, numBatch
 	computeStart := make([]float64, numBatches)
 	computeDone := make([]float64, numBatches)
 	prevCompute := nonSampleElapsed(w.dev)
+	lastStep := -1
 
 	for f := range ch {
+		if cancellable && e.stopAgreed(ctx, w) {
+			// Tell the prefetcher to quit, then drain so its pending send
+			// unblocks and the channel closes.
+			w.stopPrefetch.Store(true)
+			for range ch {
+			}
+			break
+		}
 		w.stats.SampledEdges += f.edges
 		e.computeStep(w, plan, f.step, f.seeds, f.mb)
 
@@ -110,6 +126,7 @@ func (e *Engine) workerEpochPipelined(w *worker, plan *sample.SeedPlan, numBatch
 		prevCompute = cur
 
 		t := f.step
+		lastStep = t
 		var prevSample, slotFree, prevDone float64
 		if t > 0 {
 			prevSample = sampleDone[t-1]
@@ -122,23 +139,47 @@ func (e *Engine) workerEpochPipelined(w *worker, plan *sample.SeedPlan, numBatch
 		computeStart[t] = maxf64(prevDone, sampleDone[t])
 		computeDone[t] = computeStart[t] + computeSec
 
-		if e.cfg.RecordTimeline {
+		if record || w.spanDev != nil {
 			// The prefetcher charges the sample clock ahead of compute,
 			// so per-step sampling comes from the batch itself; the
 			// compute stages still come from clock deltas.
 			curSnap := snapshotOf(w.dev)
-			w.timeline = append(w.timeline, StepTrace{
-				Step:      t,
-				SampleSec: f.sampleSec,
-				BuildSec:  curSnap[1] - snap[1],
-				LoadSec:   curSnap[2] - snap[2],
-				TrainSec:  curSnap[3] - snap[3],
-				ShuffSec:  curSnap[4] - snap[4],
-			})
+			st := stepDelta(t, snap, curSnap)
+			st.SampleSec = f.sampleSec
 			snap = curSnap
+			if record {
+				w.timeline = append(w.timeline, st)
+			}
+			w.emitPipelinedSpans(st, sampleDone[t], computeStart[t])
 		}
 	}
-	if numBatches > 0 {
-		w.pipelinedSec = computeDone[numBatches-1]
+	if lastStep >= 0 {
+		w.pipelinedSec = computeDone[lastStep]
+	}
+}
+
+// emitPipelinedSpans places one pipelined step on the worker's span
+// tracks using the overlapped schedule: the sampling span goes on the
+// sampler track ending at sampleDone, the compute stages lay end to
+// end on the device track from computeStart. Sampling of step t+1
+// therefore visibly overlaps compute of step t in the exported trace.
+func (w *worker) emitPipelinedSpans(st StepTrace, sampleDone, computeStart float64) {
+	if w.spanDev == nil {
+		return
+	}
+	base := w.eng.spanBase
+	w.spanSmp.Emit(device.StageSample, st.Step, base+sampleDone-st.SampleSec, st.SampleSec, 0)
+	cur := base + computeStart
+	for _, sp := range [4]struct {
+		stage string
+		dur   float64
+	}{
+		{device.StageBuild, st.BuildSec},
+		{device.StageLoad, st.LoadSec},
+		{device.StageTrain, st.TrainSec},
+		{device.StageShuffle, st.ShuffSec},
+	} {
+		w.spanDev.Emit(sp.stage, st.Step, cur, sp.dur, 0)
+		cur += sp.dur
 	}
 }

@@ -40,19 +40,16 @@ func snapshotOf(d *device.Device) stageSnapshot {
 	return s
 }
 
-// recordStep appends the delta since prev to the worker's timeline and
-// returns the new snapshot.
-func (w *worker) recordStep(step int, prev stageSnapshot) stageSnapshot {
-	cur := snapshotOf(w.dev)
-	w.timeline = append(w.timeline, StepTrace{
+// stepDelta turns two stage-clock snapshots into one step's trace.
+func stepDelta(step int, prev, cur stageSnapshot) StepTrace {
+	return StepTrace{
 		Step:      step,
 		SampleSec: cur[0] - prev[0],
 		BuildSec:  cur[1] - prev[1],
 		LoadSec:   cur[2] - prev[2],
 		TrainSec:  cur[3] - prev[3],
 		ShuffSec:  cur[4] - prev[4],
-	})
-	return cur
+	}
 }
 
 // mergeTimelines folds per-worker step traces into per-step maxima

@@ -1,0 +1,74 @@
+package obs
+
+// The option surface shared by the facade's constructors: NewAPT and
+// Serve both accept ...Option, so observability is opt-in per call
+// site instead of a process-global toggle.
+
+// Observer receives observability data at flush points: the end of a
+// training run (core.APT) or server close (serve.Server). Both methods
+// are called from the flushing goroutine after all emitters have been
+// joined, so implementations need no synchronization against the run.
+type Observer interface {
+	// ObserveSpans receives the run's tracks with their collected
+	// spans. The tracks are live references — read, don't mutate.
+	ObserveSpans(tracks []*Track)
+	// ObserveMetrics receives the run's metrics registry.
+	ObserveMetrics(r *Registry)
+}
+
+// Options is the resolved observability configuration.
+type Options struct {
+	// Observer receives spans and metrics at flush points; nil
+	// disables the callback.
+	Observer Observer
+	// TracePath, when non-empty, writes a Chrome trace-event JSON file
+	// of the run's spans at flush time (load it in chrome://tracing).
+	TracePath string
+}
+
+// Enabled reports whether any observability sink is configured; the
+// engine only allocates collectors (and pays the span emission cost)
+// when it is.
+func (o Options) Enabled() bool { return o.Observer != nil || o.TracePath != "" }
+
+// Option configures observability on a constructor.
+type Option func(*Options)
+
+// WithObserver routes flushed spans and metrics to obs.
+func WithObserver(observer Observer) Option {
+	return func(o *Options) { o.Observer = observer }
+}
+
+// WithTracePath writes a Chrome trace-event JSON file of the run to
+// path at flush time.
+func WithTracePath(path string) Option {
+	return func(o *Options) { o.TracePath = path }
+}
+
+// BuildOptions folds opts into a resolved Options.
+func BuildOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Flush delivers a finished run to the configured sinks: the Chrome
+// trace file first (so an Observer panic cannot lose the file), then
+// the Observer callbacks. Either argument may be nil.
+func (o Options) Flush(c *Collector, r *Registry) error {
+	var err error
+	if o.TracePath != "" && c != nil {
+		err = WriteChromeTraceFile(o.TracePath, c)
+	}
+	if o.Observer != nil {
+		if c != nil {
+			o.Observer.ObserveSpans(c.Tracks())
+		}
+		if r != nil {
+			o.Observer.ObserveMetrics(r)
+		}
+	}
+	return err
+}

@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/tensor"
 )
@@ -142,16 +144,24 @@ type Server struct {
 	cfg   Config
 	inf   *engine.Inferencer
 	stats *Stats
+	reg   *obs.Registry
+	obsO  obs.Options
+	spans *obs.Collector
 	reqs  chan *pending
 
-	mu     sync.RWMutex
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.RWMutex
+	closed    bool
+	wg        sync.WaitGroup
+	flushOnce sync.Once
+	flushErr  error
 }
 
 // New builds the feature store (host placement + per-device caches),
-// the inference worker pool, and starts the micro-batcher.
-func New(cfg Config) (*Server, error) {
+// the inference worker pool, and starts the micro-batcher. Options
+// attach observers: obs.WithTracePath exports a Chrome trace of the
+// workers' simulated-clock spans on Close, obs.WithObserver receives
+// the span tracks and the metrics registry on Close.
+func New(cfg Config, opts ...obs.Option) (*Server, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -187,9 +197,17 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:  cfg,
 		inf:  inf,
+		reg:  obs.NewRegistry(),
+		obsO: obs.BuildOptions(opts...),
 		reqs: make(chan *pending, cfg.QueueCap),
 	}
-	s.stats = newStats(cfg.MaxBatch, inf.SimSeconds)
+	s.stats = newStats(s.reg, cfg.MaxBatch, inf.SimSeconds)
+	if s.obsO.Enabled() {
+		// Span collection is opt-in: a long-running server would grow the
+		// span buffers without bound for no reader.
+		s.spans = obs.NewCollector()
+		inf.AttachSpans(s.spans)
+	}
 	for w := 0; w < inf.NumWorkers(); w++ {
 		s.wg.Add(1)
 		go s.worker(inf.Worker(w))
@@ -204,8 +222,19 @@ func New(cfg Config) (*Server, error) {
 // fail the whole request with an UnknownNodeError before it is
 // enqueued; after Close has begun it fails with ErrServerClosed.
 func (s *Server) Predict(nodes []graph.NodeID) ([]Result, error) {
+	return s.PredictContext(context.Background(), nodes)
+}
+
+// PredictContext is Predict under a context: cancellation abandons the
+// wait and returns ctx.Err(). The request's batch still executes (the
+// micro-batcher owns it by then) — only this caller stops waiting, so
+// co-batched requests are unaffected.
+func (s *Server) PredictContext(ctx context.Context, nodes []graph.NodeID) ([]Result, error) {
 	if len(nodes) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n := s.cfg.Graph.NumNodes()
 	for _, v := range nodes {
@@ -225,29 +254,42 @@ func (s *Server) Predict(nodes []graph.NodeID) ([]Result, error) {
 	}
 	s.reqs <- p
 	s.mu.RUnlock()
-	<-p.done
-	return p.res, p.err
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Stats returns a snapshot of the server's metrics registry.
 func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
+
+// Metrics returns the server's metrics registry (the /metrics
+// endpoint renders it in the text exposition format).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // NumWorkers returns the inference pool size.
 func (s *Server) NumWorkers() int { return s.inf.NumWorkers() }
 
 // Close stops the server: new Predict calls fail with ErrServerClosed,
 // while already-queued and in-flight requests drain and complete.
-// Close blocks until every worker has exited and is idempotent.
+// Once every worker has exited, the observability options flush —
+// the Chrome trace file is written and any observer sees the final
+// span tracks and metrics. Close blocks until all of that is done and
+// is idempotent (later calls return the first flush error).
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if !s.closed {
+		s.closed = true
 		s.mu.Unlock()
-		s.wg.Wait()
-		return nil
+		close(s.reqs)
+	} else {
+		s.mu.Unlock()
 	}
-	s.closed = true
-	s.mu.Unlock()
-	close(s.reqs)
 	s.wg.Wait()
-	return nil
+	// The Once serializes concurrent Closes: all of them return after
+	// the flush has happened, with its error.
+	s.flushOnce.Do(func() { s.flushErr = s.obsO.Flush(s.spans, s.reg) })
+	return s.flushErr
 }

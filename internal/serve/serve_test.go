@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/tensor"
 )
@@ -41,7 +42,7 @@ func newFixture(t testing.TB) *testFixture {
 	}
 }
 
-func (f *testFixture) server(t testing.TB, mutate func(*Config)) *Server {
+func (f *testFixture) server(t testing.TB, mutate func(*Config), opts ...obs.Option) *Server {
 	t.Helper()
 	cfg := Config{
 		Graph:    f.ds.Graph,
@@ -56,7 +57,7 @@ func (f *testFixture) server(t testing.TB, mutate func(*Config)) *Server {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s, err := New(cfg)
+	s, err := New(cfg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,140 +1,92 @@
 package serve
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
-// Stats is the server's embedded metrics registry. Latencies go into a
-// log-scale histogram (4 sub-buckets per power-of-two microsecond
-// octave, ~19% worst-case relative error on reported percentiles),
-// batch sizes into a linear histogram. All methods are safe for
-// concurrent use.
-
-// latOctaves spans 1µs .. ~2^26µs (~67s); latSub is the sub-bucket
-// resolution per octave.
-const (
-	latOctaves = 27
-	latSub     = 4
-	latBuckets = latOctaves * latSub
-)
-
-// Stats accumulates serving metrics.
+// Stats is the server's metrics facade, built on the shared obs
+// registry: every serving metric is an apt_serve_* counter, gauge, or
+// histogram, so the same numbers back both the JSON /stats snapshot
+// and the text-exposition /metrics endpoint. Latencies go into the
+// registry's log-scale histogram (microsecond octaves, ~19% worst-case
+// relative error on reported percentiles), batch sizes into a linear
+// one bucket per seed count. All methods are safe for concurrent use.
 type Stats struct {
-	mu        sync.Mutex
-	start     time.Time
-	requests  int64
-	rejected  int64
-	seeds     int64
-	batches   int64
-	lat       [latBuckets]int64
-	latSum    time.Duration
-	latMax    time.Duration
-	batchHist []int64 // index = coalesced seed count, clamped to cap
-	maxBatch  int64   // largest observed batch (seeds)
-	load      cache.LoadStats
-	simSec    func() float64
+	reg        *obs.Registry
+	start      time.Time
+	requests   *obs.Counter
+	rejected   *obs.Counter
+	seeds      *obs.Counter
+	batches    *obs.Counter
+	latUs      *obs.Histogram
+	batchSeeds *obs.Histogram
+	reads      [cache.LocRemoteCPU + 1]*obs.Counter
+	simSec     func() float64
 }
 
-func newStats(maxBatch int, simSec func() float64) *Stats {
-	return &Stats{
-		start:     time.Now(),
-		batchHist: make([]int64, maxBatch+1),
-		simSec:    simSec,
+func newStats(reg *obs.Registry, maxBatch int, simSec func() float64) *Stats {
+	s := &Stats{
+		reg:      reg,
+		start:    time.Now(),
+		requests: reg.Counter("apt_serve_requests_total", "Completed predict requests."),
+		rejected: reg.Counter("apt_serve_rejected_total", "Requests refused after shutdown began."),
+		seeds:    reg.Counter("apt_serve_seeds_total", "Seed nodes executed (deduplicated per batch)."),
+		batches:  reg.Counter("apt_serve_batches_total", "Coalesced micro-batches executed."),
+		latUs: reg.LogHistogram("apt_serve_latency_us",
+			"Request latency, microseconds, enqueue to completion."),
+		batchSeeds: reg.LinearHistogram("apt_serve_batch_seeds",
+			"Coalesced batch size in seeds.", maxBatch),
+		simSec: simSec,
 	}
+	for loc := range s.reads {
+		s.reads[loc] = reg.Counter(
+			"apt_serve_feature_reads_"+locMetricName(cache.Location(loc))+"_total",
+			"Feature rows served from "+cache.Location(loc).String()+".")
+	}
+	reg.GaugeFunc("apt_serve_uptime_seconds", "Wall-clock seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	if simSec != nil {
+		reg.GaugeFunc("apt_serve_sim_seconds", "Simulated device seconds consumed by inference.", simSec)
+	}
+	return s
 }
 
-// latBucket maps a latency to its histogram bucket.
-func latBucket(d time.Duration) int {
-	us := d.Microseconds()
-	if us < 1 {
-		return 0
+// locMetricName turns a cache location into a metric-name fragment
+// (metric names cannot carry the '-' of Location.String()).
+func locMetricName(l cache.Location) string {
+	switch l {
+	case cache.LocGPU:
+		return "gpu"
+	case cache.LocPeerGPU:
+		return "peer_gpu"
+	case cache.LocLocalCPU:
+		return "local_cpu"
+	default:
+		return "remote_cpu"
 	}
-	// Find the octave (position of the highest set bit), then split it
-	// into latSub linear sub-buckets.
-	oct := 0
-	for v := us; v > 1; v >>= 1 {
-		oct++
-	}
-	lo := int64(1) << oct
-	sub := int((us - lo) * latSub / lo)
-	b := oct*latSub + sub
-	if b >= latBuckets {
-		b = latBuckets - 1
-	}
-	return b
-}
-
-// latBucketUpper returns the inclusive upper bound of bucket b.
-func latBucketUpper(b int) time.Duration {
-	oct := b / latSub
-	sub := b % latSub
-	lo := int64(1) << oct
-	return time.Duration(lo+(lo*int64(sub+1))/latSub) * time.Microsecond
 }
 
 // recordBatch folds one executed micro-batch into the registry.
 func (s *Stats) recordBatch(latencies []time.Duration, seeds int, ld cache.LoadStats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.batches++
-	s.seeds += int64(seeds)
-	s.requests += int64(len(latencies))
+	s.batches.Inc()
+	s.seeds.Add(int64(seeds))
+	s.requests.Add(int64(len(latencies)))
 	for _, d := range latencies {
-		s.lat[latBucket(d)]++
-		s.latSum += d
-		if d > s.latMax {
-			s.latMax = d
+		s.latUs.Observe(d.Microseconds())
+	}
+	s.batchSeeds.Observe(int64(seeds))
+	for loc, n := range ld.Nodes {
+		if n > 0 {
+			s.reads[loc].Add(n)
 		}
 	}
-	idx := seeds
-	if idx >= len(s.batchHist) {
-		idx = len(s.batchHist) - 1
-	}
-	s.batchHist[idx]++
-	if int64(seeds) > s.maxBatch {
-		s.maxBatch = int64(seeds)
-	}
-	s.load.Add(ld)
 }
 
 // recordRejected counts a request refused after shutdown began.
-func (s *Stats) recordRejected() {
-	s.mu.Lock()
-	s.rejected++
-	s.mu.Unlock()
-}
-
-// percentileLocked returns the approximate q-quantile (0 < q <= 1) of
-// recorded latencies; callers hold s.mu.
-func (s *Stats) percentileLocked(q float64) time.Duration {
-	var total int64
-	for _, c := range s.lat {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen int64
-	for b, c := range s.lat {
-		seen += c
-		if seen > rank {
-			// The bucket's upper bound can overshoot the largest latency
-			// actually recorded; never report past the true max.
-			if u := latBucketUpper(b); u < s.latMax {
-				return u
-			}
-			return s.latMax
-		}
-	}
-	return s.latMax
-}
+func (s *Stats) recordRejected() { s.rejected.Inc() }
 
 // BatchBucket is one batch-size histogram entry.
 type BatchBucket struct {
@@ -175,45 +127,37 @@ type Snapshot struct {
 
 // Snapshot captures the current registry state.
 func (s *Stats) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	up := time.Since(s.start).Seconds()
 	snap := Snapshot{
 		UptimeSec:     up,
-		Requests:      s.requests,
-		Rejected:      s.rejected,
-		Seeds:         s.seeds,
-		Batches:       s.batches,
-		MaxBatchSeeds: s.maxBatch,
-		P50Ms:         s.percentileLocked(0.50).Seconds() * 1e3,
-		P95Ms:         s.percentileLocked(0.95).Seconds() * 1e3,
-		P99Ms:         s.percentileLocked(0.99).Seconds() * 1e3,
-		MaxMs:         s.latMax.Seconds() * 1e3,
-		FeatureReads:  make(map[string]int64, 4),
+		Requests:      s.requests.Value(),
+		Rejected:      s.rejected.Value(),
+		Seeds:         s.seeds.Value(),
+		Batches:       s.batches.Value(),
+		MaxBatchSeeds: s.batchSeeds.Max(),
+		P50Ms:         float64(s.latUs.Quantile(0.50)) / 1e3,
+		P95Ms:         float64(s.latUs.Quantile(0.95)) / 1e3,
+		P99Ms:         float64(s.latUs.Quantile(0.99)) / 1e3,
+		MaxMs:         float64(s.latUs.Max()) / 1e3,
+		MeanMs:        s.latUs.Mean() / 1e3,
+		FeatureReads:  make(map[string]int64, len(s.reads)),
 	}
 	if up > 0 {
-		snap.ThroughputRPS = float64(s.requests) / up
+		snap.ThroughputRPS = float64(snap.Requests) / up
 	}
-	if s.batches > 0 {
-		snap.MeanBatchSeeds = float64(s.seeds) / float64(s.batches)
-	}
-	if s.requests > 0 {
-		snap.MeanMs = (s.latSum / time.Duration(s.requests)).Seconds() * 1e3
-	}
-	for sz, c := range s.batchHist {
-		if c > 0 {
-			snap.BatchHist = append(snap.BatchHist, BatchBucket{Seeds: sz, Count: c})
-		}
-	}
+	snap.MeanBatchSeeds = s.batchSeeds.Mean()
+	s.batchSeeds.NonEmptyBuckets(func(upper, count int64) {
+		snap.BatchHist = append(snap.BatchHist, BatchBucket{Seeds: int(upper), Count: count})
+	})
 	var totalReads int64
-	for loc, n := range s.load.Nodes {
-		if n > 0 {
+	for loc, c := range s.reads {
+		if n := c.Value(); n > 0 {
 			snap.FeatureReads[cache.Location(loc).String()] = n
+			totalReads += n
 		}
-		totalReads += n
 	}
 	if totalReads > 0 {
-		snap.CacheHitRate = float64(s.load.Nodes[cache.LocGPU]) / float64(totalReads)
+		snap.CacheHitRate = float64(s.reads[cache.LocGPU].Value()) / float64(totalReads)
 	}
 	if s.simSec != nil {
 		snap.SimSeconds = s.simSec()

@@ -1,0 +1,52 @@
+package trace
+
+import "repro/internal/obs"
+
+// Second renderer over span data: the same stacked text bars the
+// benchmark reports use, but computed from an observability span
+// collector instead of EpochStats — one bar per track, one segment per
+// stage, segment length = the stage's total span time on that track.
+// The Chrome trace answers "when did it run"; these bars answer "how
+// much, per device" in plain text.
+
+// RowsFromSpans folds span tracks into stacked-bar rows. stageOrder
+// fixes the segment order (and therefore the legend); stages not
+// listed append in first-appearance order, so nil renders everything.
+func RowsFromSpans(tracks []*obs.Track, stageOrder []string) []Row {
+	rows := make([]Row, 0, len(tracks))
+	for _, tr := range tracks {
+		totals := map[string]float64{}
+		order := append([]string(nil), stageOrder...)
+		for _, s := range tr.Spans() {
+			if _, seen := totals[s.Stage]; !seen && !containsStage(order, s.Stage) {
+				order = append(order, s.Stage)
+			}
+			totals[s.Stage] += s.Dur
+		}
+		row := Row{Label: tr.Name}
+		for _, stage := range order {
+			if sec, ok := totals[stage]; ok {
+				row.Segments = append(row.Segments, Seg{Name: stage, Sec: sec})
+			}
+		}
+		if len(row.Segments) > 0 {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func containsStage(order []string, stage string) bool {
+	for _, s := range order {
+		if s == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderSpanBars is RowsFromSpans piped into RenderBars: the text-bar
+// view of a collector, stage order matching the engine's stages.
+func RenderSpanBars(title string, c *obs.Collector, stageOrder []string) string {
+	return RenderBars(title, RowsFromSpans(c.Tracks(), stageOrder))
+}

@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRenderBars(t *testing.T) {
@@ -67,5 +69,34 @@ func TestRenderTableNoTitle(t *testing.T) {
 	out := RenderTable("", []string{"x"}, [][]string{{"1"}})
 	if strings.HasPrefix(out, "\n") {
 		t.Error("leading newline with empty title")
+	}
+}
+
+func TestRowsFromSpans(t *testing.T) {
+	c := obs.NewCollector()
+	dev := c.AddTrack("device", "dev0")
+	dev.Emit("sample", 0, 0, 1.0, 0)
+	dev.Emit("train", 0, 1.0, 2.0, 0)
+	dev.Emit("sample", 1, 3.0, 0.5, 0)
+	empty := c.AddTrack("device", "dev1")
+	_ = empty
+
+	rows := RowsFromSpans(c.Tracks(), []string{"sample", "train"})
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (empty track dropped)", len(rows))
+	}
+	r := rows[0]
+	if r.Label != "dev0" || len(r.Segments) != 2 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.Segments[0].Name != "sample" || r.Segments[0].Sec != 1.5 {
+		t.Errorf("sample segment = %+v", r.Segments[0])
+	}
+	if r.Segments[1].Name != "train" || r.Segments[1].Sec != 2.0 {
+		t.Errorf("train segment = %+v", r.Segments[1])
+	}
+	out := RenderSpanBars("spans", c, nil)
+	if !strings.Contains(out, "dev0") || !strings.Contains(out, "legend") {
+		t.Errorf("bad render:\n%s", out)
 	}
 }

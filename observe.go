@@ -1,0 +1,44 @@
+package repro
+
+// Observability surface of the facade (package internal/obs): one
+// subsystem shared by training and serving. Spans record what each
+// simulated device did and when; the metrics registry holds counters,
+// gauges, and histograms with a Prometheus-style text exposition; the
+// Chrome trace exporter renders span tracks for chrome://tracing.
+//
+// Attach observers with functional options at construction time:
+//
+//	apt, _ := repro.NewAPT(task, repro.WithTracePath("train.json"))
+//	srv, _ := repro.Serve(cfg, repro.WithObserver(myObserver))
+
+import "repro/internal/obs"
+
+type (
+	// Observer receives the collected span tracks and the metrics
+	// registry when a run flushes (training finishes, server closes).
+	Observer = obs.Observer
+	// ObserveOption is a functional option configuring observability;
+	// NewAPT and Serve accept any number of them.
+	ObserveOption = obs.Option
+	// Span is one timed operation on a simulated device's track.
+	Span = obs.Span
+	// SpanTrack is one device's (or sampler's, or comm link's)
+	// time-ordered span sequence.
+	SpanTrack = obs.Track
+	// SpanCollector aggregates the tracks of one run.
+	SpanCollector = obs.Collector
+	// MetricsRegistry is the named counter/gauge/histogram registry.
+	MetricsRegistry = obs.Registry
+)
+
+var (
+	// WithObserver delivers the run's spans and metrics to an Observer
+	// at flush time.
+	WithObserver = obs.WithObserver
+	// WithTracePath writes a Chrome trace-event JSON file at flush
+	// time; load it in chrome://tracing or Perfetto.
+	WithTracePath = obs.WithTracePath
+	// WriteChromeTrace renders a span collector as Chrome trace-event
+	// JSON to a writer.
+	WriteChromeTrace = obs.WriteChromeTrace
+)

@@ -1,0 +1,28 @@
+package repro
+
+// Serving surface of the facade: online inference over a trained
+// model with adaptive micro-batching (package internal/serve).
+
+import "repro/internal/serve"
+
+type (
+	// Server is the online inference server; issue requests with
+	// Server.Predict / Server.PredictContext and stop with
+	// Server.Close.
+	Server = serve.Server
+	// ServeConfig configures Serve.
+	ServeConfig = serve.Config
+	// PredictResult is one node's prediction.
+	PredictResult = serve.Result
+	// ServeStats is a snapshot of a Server's metrics registry
+	// (latency percentiles, throughput, batch sizes, cache hit rate).
+	ServeStats = serve.Snapshot
+)
+
+// ErrServerClosed is returned by Server.Predict after Server.Close.
+var ErrServerClosed = serve.ErrServerClosed
+
+// Serve starts an online inference server over a trained model.
+// Observability options (WithObserver, WithTracePath) attach
+// observers that flush when the server closes.
+var Serve = serve.New
