@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-kernels
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,31 @@ build:
 test:
 	$(GO) test ./...
 
+# Fused kernels that must stay allocation-free in steady state (the
+# pipelined engine depends on it); verify runs them under -benchmem and
+# fails on any non-zero allocs/op.
+ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|TMatMulAcc$$|SegmentAggFused'
+
 # verify is the pre-merge gate: vet + build everything (including the
-# serving daemon), then run the concurrency-heavy packages (pipelined
+# serving daemon), run the concurrency-heavy packages (pipelined
 # engine, pooled kernels, inference server, span/metrics collection)
-# under the race detector.
+# under the race detector, then hold the fused kernels to zero
+# steady-state allocations.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
 	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/...
+	$(GO) test -run XXX -bench $(ALLOC_FREE_KERNELS) -benchmem -benchtime 50x ./internal/tensor/ \
+		| awk '/^Benchmark/ { if ($$(NF-1)+0 != 0) { print "FAIL (allocs/op != 0):", $$0; bad=1 } } END { exit bad }'
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# bench-kernels regenerates BENCH_kernels.json: the tensor-package
+# kernel micro-benchmarks plus the end-to-end epoch/substrate
+# benchmarks whose pre-fusion baseline is recorded in cmd/benchkernels.
+bench-kernels:
+	( $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
+	  $(GO) test -run XXX -bench 'MatMul128|SegmentMean$$|EpochSequential|EpochPipelined' -benchmem -benchtime 20x . ) \
+		| $(GO) run ./cmd/benchkernels -out BENCH_kernels.json

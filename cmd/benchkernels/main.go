@@ -1,0 +1,151 @@
+// Command benchkernels turns `go test -bench` output into
+// BENCH_kernels.json, the committed kernel-performance record for the
+// fused/cache-blocked kernel suite (driven by `make bench-kernels`).
+//
+// It reads benchmark lines from stdin, parses ns/op, MB/s, B/op and
+// allocs/op, and writes a JSON document that pairs the fresh numbers
+// with the recorded pre-fusion baseline (commit e95e513, the last
+// commit before the tiled/fused kernels landed) so the speedup of the
+// rewrite stays visible in-repo:
+//
+//	(go test -run XXX -bench . -benchmem ./internal/tensor/; \
+//	 go test -run XXX -bench 'Epoch' -benchmem .) | benchkernels -out BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's parsed metrics.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// baseline: measured at e95e513 on the same container (Intel Xeon @
+// 2.10GHz, GOMAXPROCS=1), before the kernel rewrite. Only benchmarks
+// that existed before the rewrite can carry a baseline; the per-kernel
+// fused-vs-unfused pairs measure their own "before" live, since the
+// unfused compositions are kept as benchmark-only code.
+var baseline = map[string]result{
+	"BenchmarkMatMul128":       {NsPerOp: 8271044, AllocsPerOp: 1},
+	"BenchmarkSegmentMean":     {NsPerOp: 1187155, AllocsPerOp: 1},
+	"BenchmarkEpochSequential": {NsPerOp: 104654739, BytesPerOp: 18877582, AllocsPerOp: 2620},
+	"BenchmarkEpochPipelined":  {NsPerOp: 110960705},
+}
+
+const baselineCommit = "e95e513"
+
+// report is the BENCH_kernels.json document.
+type report struct {
+	GeneratedBy    string             `json:"generated_by"`
+	CPU            string             `json:"cpu,omitempty"`
+	Go             string             `json:"go"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	BaselineCommit string             `json:"baseline_commit"`
+	Baseline       map[string]result  `json:"baseline"`
+	Results        map[string]result  `json:"results"`
+	Speedup        map[string]float64 `json:"speedup_vs_baseline"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseLine(fields []string) (string, result, bool) {
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := procSuffix.ReplaceAllString(fields[0], "")
+	var r result
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return name, r, r.NsPerOp > 0
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output path")
+	flag.Parse()
+
+	rep := report{
+		GeneratedBy:    "make bench-kernels",
+		Go:             runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		BaselineCommit: baselineCommit,
+		Baseline:       baseline,
+		Results:        map[string]result{},
+		Speedup:        map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if name, r, ok := parseLine(strings.Fields(line)); ok {
+			rep.Results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchkernels: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	for name, base := range baseline {
+		if r, ok := rep.Results[name]; ok && r.NsPerOp > 0 {
+			rep.Speedup[name] = base.NsPerOp / r.NsPerOp
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(rep.Results))
+	for n := range rep.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := rep.Results[n]
+		line := fmt.Sprintf("%-36s %14.0f ns/op %6d allocs/op", n, r.NsPerOp, r.AllocsPerOp)
+		if s, ok := rep.Speedup[n]; ok {
+			line += fmt.Sprintf("   %.2fx vs %s", s, baselineCommit)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -242,6 +242,16 @@ func (s *Store) chargeTime(dev *device.Device, st *LoadStats) {
 	dev.Charge(device.StageLoad, t)
 }
 
+// Charge accounts for device dev reading nodes — location volumes plus
+// simulated load time — without materializing a gathered copy. The
+// gather-fused kernels read the master feature matrix through the node
+// list directly, so a load is pure accounting.
+func (s *Store) Charge(dev *device.Device, nodes []graph.NodeID) LoadStats {
+	st := s.VolumeOnly(dev.ID, nodes)
+	s.chargeTime(dev, &st)
+	return st
+}
+
 // Load gathers the features of nodes for device dev, charging
 // simulated load time. In accounting mode (nil master features) only
 // statistics are produced and the returned matrix is nil.

@@ -116,7 +116,8 @@ func (r *dnpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 	in := w.allToAll(device.StageBuild, payloads)
 
 	// Execute: manage received destinations. Feature reads for all
-	// requesters are batched into one deduplicated load.
+	// requesters are batched into one deduplicated charge; the layer
+	// kernels read the store through each mini-block's source list.
 	ctx := &dnpCtx{myReqs: reqs, served: make([]*dnpServed, n)}
 	srcLists := make([][]graph.NodeID, n)
 	for rq := 0; rq < n; rq++ {
@@ -128,7 +129,7 @@ func (r *dnpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 		ctx.served[rq] = &dnpServed{blk: mblk}
 		srcLists[rq] = mblk.Src
 	}
-	xs := w.loadUnion(srcLists)
+	w.chargeUnionLoad(srcLists)
 	replies := make([]payload, n)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
@@ -139,7 +140,7 @@ func (r *dnpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 		w.chargeLayerCompute(w.layer0(), int64(mblk.NumSrc()), mblk.NumEdges(), false)
 		var reply payload
 		if w.real() {
-			out, lct := w.layer0().Forward(mblk, xs[rq])
+			out, lct := w.forwardLayer0Gathered(mblk, mblk.Src)
 			served.lct = lct
 			reply.Mat = out
 		} else {
@@ -205,7 +206,7 @@ func (r *dnpRunner) backward(w *worker, mb *sample.MiniBatch, ctxI any, dH *tens
 		}
 		w.chargeLayerCompute(w.layer0(), int64(served.blk.NumSrc()), served.blk.NumEdges(), true)
 		if w.real() {
-			w.layer0().Backward(served.blk, served.lct, in[rq].Mat)
+			w.backwardLayer0Params(served.blk, served.lct, in[rq].Mat)
 		}
 	}
 }

@@ -155,6 +155,12 @@ type worker struct {
 	// stopPrefetch tells the worker's prefetch goroutine to quit early
 	// after the compute loop agreed on cancellation.
 	stopPrefetch atomic.Bool
+	// unionStamp/unionGen/unionBuf are the reusable stamp-scratch
+	// behind unionNodes (see load.go): per-node generation stamps plus
+	// the union output buffer, both reused across steps.
+	unionStamp []int32
+	unionGen   int32
+	unionBuf   []graph.NodeID
 }
 
 func (w *worker) real() bool { return w.eng.cfg.Mode == Real }
@@ -267,6 +273,41 @@ func (e *Engine) Model(dev int) *nn.Model { return e.models[dev] }
 
 // layer0 returns a worker's first-layer instance.
 func (w *worker) layer0() nn.Layer { return w.model.Layers[0] }
+
+// gatherFallback is the layer-0 context for layers without gather-fused
+// kernels: it parks the materialized input copy so backward can recycle
+// it.
+type gatherFallback struct {
+	x   *tensor.Matrix
+	lct nn.LayerCtx
+}
+
+// forwardLayer0Gathered runs layer 0 reading the feature store through
+// idx directly (no materialized gather) when the layer supports it,
+// falling back to an explicit gather otherwise. Real mode only.
+func (w *worker) forwardLayer0Gathered(blk *sample.Block, idx []graph.NodeID) (*tensor.Matrix, any) {
+	feats := w.eng.cfg.Store.Feats
+	if gl, ok := w.layer0().(nn.GatherLayer); ok {
+		out, lct := gl.ForwardGathered(blk, feats, idx)
+		return out, lct
+	}
+	x := tensor.Gather(feats, idx)
+	out, lct := w.layer0().Forward(blk, x)
+	return out, &gatherFallback{x: x, lct: lct}
+}
+
+// backwardLayer0Params consumes a forwardLayer0Gathered context:
+// parameter gradients only — the layer-0 input gradient is w.r.t. raw
+// features and was always discarded, so the fused path never computes
+// it.
+func (w *worker) backwardLayer0Params(blk *sample.Block, lct any, dOut *tensor.Matrix) {
+	if fb, ok := lct.(*gatherFallback); ok {
+		tensor.Put(w.layer0().Backward(blk, fb.lct, dOut))
+		tensor.Put(fb.x)
+		return
+	}
+	w.layer0().(nn.GatherLayer).BackwardParams(blk, lct, dOut)
+}
 
 // seedPlan builds the epoch's per-device seed assignment: partition
 // owners for SNP/DNP (paper §3.2), an even shuffle otherwise.

@@ -13,20 +13,18 @@ import (
 type gdpRunner struct{}
 
 type gdpCtx struct {
-	x   *tensor.Matrix
-	lct interface{}
+	lct any
 }
 
 func (r *gdpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, any) {
 	blk := mb.Layer1()
-	x, st := w.eng.cfg.Store.Load(w.dev, blk.Src)
-	w.stats.Load.Add(st)
+	w.stats.Load.Add(w.eng.cfg.Store.Charge(w.dev, blk.Src))
 	w.chargeLayerCompute(w.layer0(), int64(blk.NumSrc()), blk.NumEdges(), false)
 	if !w.real() {
 		return nil, &gdpCtx{}
 	}
-	out, lct := w.layer0().Forward(blk, x)
-	return out, &gdpCtx{x: x, lct: lct}
+	out, lct := w.forwardLayer0Gathered(blk, blk.Src)
+	return out, &gdpCtx{lct: lct}
 }
 
 func (r *gdpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
@@ -36,5 +34,5 @@ func (r *gdpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tenso
 		return
 	}
 	c := ctx.(*gdpCtx)
-	w.layer0().Backward(blk, c.lct, dH)
+	w.backwardLayer0Params(blk, c.lct, dH)
 }

@@ -158,16 +158,15 @@ func (w *InferWorker) Infer(seeds []graph.NodeID) (*tensor.Matrix, cache.LoadSta
 	w.dev.Charge(device.StageSample, w.inf.cfg.Platform.SampleTime(edges))
 	emit(device.StageSample, 0)
 
-	x, st := w.inf.cfg.Store.Load(w.dev, mb.Layer1().Src)
-	emit(device.StageLoad, x.Bytes())
+	st := w.inf.cfg.Store.Charge(w.dev, mb.Layer1().Src)
+	emit(device.StageLoad, int64(mb.Layer1().NumSrc())*int64(w.inf.cfg.Store.Dim)*4)
 	for l, layer := range w.inf.cfg.Model.Layers {
 		blk := mb.Blocks[l]
 		dense, sparse := layerFLOPs(layer, int64(blk.NumSrc()), blk.NumEdges())
 		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.DenseTime(dense))
 		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.SparseTime(sparse))
 	}
-	logits := w.inf.cfg.Model.Predict(mb, x)
+	logits := w.inf.cfg.Model.PredictGathered(mb, w.inf.cfg.Store.Feats, mb.Layer1().Src)
 	emit(device.StageTrain, 0)
-	tensor.Put(x)
 	return logits, st
 }

@@ -2,61 +2,47 @@ package engine
 
 import (
 	"repro/internal/graph"
-	"repro/internal/tensor"
 )
 
-// loadUnion loads the deduplicated union of several node lists in one
-// store read (a GPU would batch the step's feature gathers the same
-// way) and returns one row matrix per input list (nil in accounting
-// mode). Without this, a device serving several requesters (SNP/DNP
-// Execute) or several broadcast blocks (NFP) would pay for popular
-// nodes once per requester.
-func (w *worker) loadUnion(lists [][]graph.NodeID) []*tensor.Matrix {
-	union, idx := unionIndex(lists)
-	x, st := w.eng.cfg.Store.Load(w.dev, union)
-	w.stats.Load.Add(st)
-	return gatherPerList(x, idx)
+// chargeUnionLoad charges the deduplicated union of several node lists
+// as one store read (a GPU would batch the step's feature gathers the
+// same way). Without the dedup, a device serving several requesters
+// (SNP/DNP Execute) or several broadcast blocks (NFP) would pay for
+// popular nodes once per requester. Nothing is copied: the gather-fused
+// kernels read the master feature matrix through each list directly,
+// so the load reduces to accounting.
+func (w *worker) chargeUnionLoad(lists [][]graph.NodeID) {
+	union := w.unionNodes(lists)
+	w.stats.Load.Add(w.eng.cfg.Store.Charge(w.dev, union))
 }
 
-// unionIndex deduplicates the concatenation of lists, returning the
-// union and each list's positions into it. Nil lists index as empty.
-func unionIndex(lists [][]graph.NodeID) ([]graph.NodeID, [][]int32) {
-	union := make([]graph.NodeID, 0, 256)
-	pos := make(map[graph.NodeID]int32, 256)
-	idx := make([][]int32, len(lists))
-	for li, list := range lists {
-		ix := make([]int32, len(list))
-		for i, u := range list {
-			p, ok := pos[u]
-			if !ok {
-				p = int32(len(union))
-				union = append(union, u)
-				pos[u] = p
-			}
-			ix[i] = p
+// unionNodes deduplicates the concatenation of lists into the worker's
+// reusable union buffer. Membership uses a generation-stamped array
+// indexed by node ID instead of a per-call map: one int32 per graph
+// node, allocated once per worker and "cleared" by bumping the
+// generation (the sampler dedups block sources the same way), so
+// steady-state steps allocate nothing here.
+func (w *worker) unionNodes(lists [][]graph.NodeID) []graph.NodeID {
+	if w.unionStamp == nil {
+		w.unionStamp = make([]int32, w.eng.cfg.Graph.NumNodes())
+	}
+	w.unionGen++
+	if w.unionGen == 0 { // generation wrapped: stale stamps could collide
+		for i := range w.unionStamp {
+			w.unionStamp[i] = 0
 		}
-		idx[li] = ix
+		w.unionGen = 1
 	}
-	return union, idx
-}
-
-// gatherPerList slices the union matrix back into per-list row
-// matrices (all nil in accounting mode).
-func gatherPerList(x *tensor.Matrix, idx [][]int32) []*tensor.Matrix {
-	out := make([]*tensor.Matrix, len(idx))
-	if x == nil {
-		return out
+	gen := w.unionGen
+	union := w.unionBuf[:0]
+	for _, list := range lists {
+		for _, u := range list {
+			if w.unionStamp[u] != gen {
+				w.unionStamp[u] = gen
+				union = append(union, u)
+			}
+		}
 	}
-	for li, ix := range idx {
-		out[li] = tensor.Gather(x, ix)
-	}
-	return out
-}
-
-// loadUnionDims is loadUnion for NFP's per-shard reads.
-func (w *worker) loadUnionDims(lists [][]graph.NodeID, lo, hi int) []*tensor.Matrix {
-	union, idx := unionIndex(lists)
-	x, st := w.eng.cfg.Store.LoadDims(w.dev, union, lo, hi)
-	w.stats.Load.Add(st)
-	return gatherPerList(x, idx)
+	w.unionBuf = union
+	return union
 }

@@ -49,14 +49,12 @@ func shardOf(m *tensor.Matrix, lo, hi int) *tensor.Matrix {
 
 type nfpSageCtx struct {
 	blocks []*sample.Block
-	xs     []*tensor.Matrix
 	out    *tensor.Matrix
 	alloc  int64
 }
 
 type nfpGatCtx struct {
 	blocks []*sample.Block
-	xs     []*tensor.Matrix
 	attn   *nn.GATAttnCtx
 	alloc  int64
 }
@@ -108,16 +106,18 @@ func (r *nfpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 
 	// Execute: partial projection + partial aggregation for every
 	// device's destinations from the local feature shard, with one
-	// deduplicated shard read across all broadcast blocks.
+	// deduplicated shard charge across all broadcast blocks; the
+	// projection reads the store's column shard through each block's
+	// source list directly.
 	srcLists := make([][]graph.NodeID, n)
 	for j := 0; j < n; j++ {
 		srcLists[j] = blocks[j].Src
 	}
-	ctx.xs = w.loadUnionDims(srcLists, lo, hi)
+	w.chargeUnionLoad(srcLists)
+	feats := e.cfg.Store.Feats
 	partials := make([]payload, n)
 	for j := 0; j < n; j++ {
 		bj := blocks[j]
-		x := ctx.xs[j]
 		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(dPrime))
 		w.chargeSparse(2 * float64(bj.NumEdges()) * float64(dPrime))
 		// The per-destination partials for every device's graph are the
@@ -125,8 +125,9 @@ func (r *nfpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 		// large hidden dimensions (paper Fig. 10).
 		ctx.alloc += wireFloats(bj.NumDst(), dPrime)
 		if w.real() {
-			z := tensor.MatMul(x, shardOf(layer.W.W, lo, hi))
+			z := tensor.GatherMatMulSlice(feats, bj.Src, lo, hi, shardOf(layer.W.W, lo, hi))
 			partials[j] = payload{Mat: tensor.SegmentSum(bj.EdgePtr, bj.SrcIdx, z)}
+			tensor.Put(z)
 		} else {
 			partials[j] = payload{Bytes: wireFloats(bj.NumDst(), dPrime)}
 		}
@@ -173,13 +174,15 @@ func (r *nfpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *nfpSageCt
 	in := w.allGather(device.StageShuffle, payload{Mat: dS, Bytes: boolToBytes(dS == nil, wire)})
 
 	gShard := shardOf(layer.W.G, lo, hi)
+	feats := e.cfg.Store.Feats
 	for j := 0; j < n; j++ {
 		bj := ctx.blocks[j]
 		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(dPrime))
 		w.chargeSparse(2 * float64(bj.NumEdges()) * float64(dPrime))
 		if w.real() {
 			dZ := tensor.SegmentSumBackward(bj.EdgePtr, bj.SrcIdx, in[j].Mat, bj.NumSrc())
-			gShard.AddInPlace(tensor.TMatMul(ctx.xs[j], dZ))
+			tensor.GatherTMatMulAccSlice(gShard, feats, bj.Src, lo, hi, dZ)
+			tensor.Put(dZ)
 		}
 	}
 }
@@ -204,20 +207,21 @@ func (r *nfpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 	for j := 0; j < n; j++ {
 		srcLists[j] = blocks[j].Src
 	}
-	ctx.xs = w.loadUnionDims(srcLists, lo, hi)
+	w.chargeUnionLoad(srcLists)
+	feats := e.cfg.Store.Feats
 	partials := make([]payload, n)
 	for j := 0; j < n; j++ {
 		bj := blocks[j]
-		x := ctx.xs[j]
 		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(width))
 		ctx.alloc += wireFloats(bj.NumSrc(), width)
 		if w.real() {
 			z := tensor.New(bj.NumSrc(), width)
 			for k := 0; k < heads; k++ {
-				zk := tensor.MatMul(x, shardOf(layer.Ws[k].W, lo, hi))
+				zk := tensor.GatherMatMulSlice(feats, bj.Src, lo, hi, shardOf(layer.Ws[k].W, lo, hi))
 				for i := 0; i < zk.Rows; i++ {
 					copy(z.Row(i)[k*dh:(k+1)*dh], zk.Row(i))
 				}
+				tensor.Put(zk)
 			}
 			partials[j] = payload{Mat: z}
 		} else {
@@ -275,19 +279,21 @@ func (r *nfpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *nfpGatCtx,
 	w.stats.HiddenBcastBytes += wire * int64(n-1)
 	in := w.allGather(device.StageShuffle, payload{Mat: dZ, Bytes: boolToBytes(dZ == nil, wire)})
 
+	feats := e.cfg.Store.Feats
 	for j := 0; j < n; j++ {
 		bj := ctx.blocks[j]
 		w.chargeDense(4 * float64(bj.NumSrc()) * float64(hi-lo) * float64(width))
 		if w.real() {
 			mat := in[j].Mat
+			dZk := tensor.Get(mat.Rows, dh)
 			for k := 0; k < heads; k++ {
-				dZk := tensor.New(mat.Rows, dh)
 				for i := 0; i < mat.Rows; i++ {
 					copy(dZk.Row(i), mat.Row(i)[k*dh:(k+1)*dh])
 				}
 				gk := shardOf(layer.Ws[k].G, lo, hi)
-				gk.AddInPlace(tensor.TMatMul(ctx.xs[j], dZk))
+				tensor.GatherTMatMulAccSlice(gk, feats, bj.Src, lo, hi, dZk)
 			}
+			tensor.Put(dZk)
 		}
 	}
 }

@@ -63,7 +63,6 @@ type snpGatRequest struct {
 
 type snpServedSage struct {
 	blk *sample.Block
-	x   *tensor.Matrix
 }
 
 type snpSageCtx struct {
@@ -74,7 +73,6 @@ type snpSageCtx struct {
 
 type snpServedGat struct {
 	srcIDs []graph.NodeID
-	x      *tensor.Matrix
 }
 
 type snpGatCtx struct {
@@ -158,7 +156,9 @@ func (r *snpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 	in := w.allToAll(device.StageBuild, payloads)
 
 	// Execute: project + partially aggregate local sources. Feature
-	// reads for all requesters share one deduplicated load.
+	// reads for all requesters share one deduplicated charge; the
+	// projection kernel reads the store through each request's source
+	// list directly.
 	ctx := &snpSageCtx{myReqs: reqs, served: make([]*snpServedSage, n)}
 	srcLists := make([][]graph.NodeID, n)
 	for rq := 0; rq < n; rq++ {
@@ -170,7 +170,8 @@ func (r *snpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 		ctx.served[rq] = &snpServedSage{blk: mblk}
 		srcLists[rq] = mblk.Src
 	}
-	xs := w.loadUnion(srcLists)
+	w.chargeUnionLoad(srcLists)
+	feats := e.cfg.Store.Feats
 	replies := make([]payload, n)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
@@ -178,12 +179,12 @@ func (r *snpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 			continue
 		}
 		mblk := served.blk
-		served.x = xs[rq]
 		w.chargeLayerCompute(layer, int64(mblk.NumSrc()), mblk.NumEdges(), false)
 		var reply payload
 		if w.real() {
-			z := layer.Project(served.x)
+			z := layer.ProjectGathered(feats, mblk.Src)
 			reply.Mat = tensor.SegmentSum(mblk.EdgePtr, mblk.SrcIdx, z)
+			tensor.Put(z)
 		} else {
 			reply.Bytes = wireFloats(mblk.NumDst(), dPrime)
 		}
@@ -199,7 +200,7 @@ func (r *snpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 	if !w.real() {
 		return nil, ctx
 	}
-	s := tensor.New(blk.NumDst(), dPrime)
+	s := tensor.Get(blk.NumDst(), dPrime)
 	for o := 0; o < n; o++ {
 		q := reqs[o]
 		if q == nil {
@@ -253,6 +254,7 @@ func (r *snpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *snpSageCt
 	}
 	in := w.allToAll(device.StageShuffle, payloads)
 
+	feats := e.cfg.Store.Feats
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
 		if served == nil {
@@ -261,7 +263,8 @@ func (r *snpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *snpSageCt
 		w.chargeLayerCompute(layer, int64(served.blk.NumSrc()), served.blk.NumEdges(), true)
 		if w.real() {
 			dZ := tensor.SegmentSumBackward(served.blk.EdgePtr, served.blk.SrcIdx, in[rq].Mat, served.blk.NumSrc())
-			layer.ProjectBackward(served.x, dZ)
+			layer.AccumulateProjGrad(feats, served.blk.Src, dZ)
+			tensor.Put(dZ)
 		}
 	}
 }
@@ -301,7 +304,8 @@ func (r *snpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 	in := w.allToAll(device.StageBuild, payloads)
 
 	// Execute: project requested sources per head, with one
-	// deduplicated feature load for all requesters.
+	// deduplicated feature charge for all requesters; the per-head
+	// projections read the store through each request's source list.
 	ctx := &snpGatCtx{localPos: localPos, served: make([]*snpServedGat, n)}
 	srcLists := make([][]graph.NodeID, n)
 	for rq := 0; rq < n; rq++ {
@@ -312,7 +316,8 @@ func (r *snpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 		ctx.served[rq] = &snpServedGat{srcIDs: q.SrcIDs}
 		srcLists[rq] = q.SrcIDs
 	}
-	xs := w.loadUnion(srcLists)
+	w.chargeUnionLoad(srcLists)
+	feats := e.cfg.Store.Feats
 	replies := make([]payload, n)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
@@ -320,17 +325,16 @@ func (r *snpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 			continue
 		}
 		q := &snpGatRequest{SrcIDs: served.srcIDs}
-		served.x = xs[rq]
-		x := served.x
 		w.chargeDense(2 * float64(len(q.SrcIDs)) * float64(layer.InDim()) * float64(width))
 		var reply payload
 		if w.real() {
 			z := tensor.New(len(q.SrcIDs), width)
 			for k := 0; k < heads; k++ {
-				zk := layer.ProjectHead(k, x)
+				zk := layer.ProjectHeadGathered(k, feats, q.SrcIDs)
 				for i := 0; i < zk.Rows; i++ {
 					copy(z.Row(i)[k*dh:(k+1)*dh], zk.Row(i))
 				}
+				tensor.Put(zk)
 			}
 			reply.Mat = z
 		} else {
@@ -406,6 +410,7 @@ func (r *snpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *snpGatCtx,
 	}
 	in := w.allToAll(device.StageShuffle, payloads)
 
+	feats := e.cfg.Store.Feats
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
 		if served == nil {
@@ -414,13 +419,14 @@ func (r *snpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *snpGatCtx,
 		w.chargeDense(4 * float64(len(served.srcIDs)) * float64(layer.InDim()) * float64(width))
 		if w.real() {
 			mat := in[rq].Mat
+			dZk := tensor.Get(mat.Rows, dh)
 			for k := 0; k < heads; k++ {
-				dZk := tensor.New(mat.Rows, dh)
 				for i := 0; i < mat.Rows; i++ {
 					copy(dZk.Row(i), mat.Row(i)[k*dh:(k+1)*dh])
 				}
-				layer.ProjectHeadBackward(k, served.x, dZk)
+				layer.AccumulateHeadProjGrad(k, feats, served.srcIDs, dZk)
 			}
+			tensor.Put(dZk)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/device"
+	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -58,13 +59,17 @@ func (t *Trainer) deviceEpoch(dev int) EpochStats {
 	d.Alloc(peak)
 	defer d.Free(peak)
 
+	// Layer 0 reads its own rows straight out of the master feature
+	// matrix through p.own (no gathered copy); upper layers pass the
+	// previous layer's dense output.
 	var h *tensor.Matrix
-	if t.real() {
-		h = tensor.Gather(t.cfg.Feats, p.own)
-	}
 	ctxs := make([]nn.LayerCtx, len(model.Layers))
 	for l, layer := range model.Layers {
-		xsrc, bytes := t.haloExchangeForward(dev, h, layer.InDim())
+		src, idx := h, []graph.NodeID(nil)
+		if l == 0 && t.real() {
+			src, idx = t.cfg.Feats, p.own
+		}
+		xsrc, bytes := t.haloExchangeForward(dev, src, idx, layer.InDim())
 		st.HaloBytes += bytes
 		t.chargeLayer(d, layer, p, false)
 		if t.real() {
@@ -129,10 +134,19 @@ func (t *Trainer) deviceEpoch(dev int) EpochStats {
 
 // haloExchangeForward ships each device's boundary embeddings to the
 // partitions whose halos need them and assembles the full source
-// matrix (own rows first, halo rows filled from peers).
-func (t *Trainer) haloExchangeForward(dev int, h *tensor.Matrix, dim int) (*tensor.Matrix, int64) {
+// matrix (own rows first, halo rows filled from peers). When idx is
+// non-nil, own row i lives at h.Row(idx[i]) — the layer-0 case, where
+// h is the master feature matrix read through the partition's node
+// list instead of a gathered copy.
+func (t *Trainer) haloExchangeForward(dev int, h *tensor.Matrix, idx []graph.NodeID, dim int) (*tensor.Matrix, int64) {
 	p := t.parts[dev]
 	n := t.cfg.Platform.NumDevices()
+	ownRow := func(r int32) []float32 {
+		if idx != nil {
+			return h.Row(int(idx[r]))
+		}
+		return h.Row(int(r))
+	}
 	outs := make([]comm.Payload, n)
 	var sent int64
 	for peer := 0; peer < n; peer++ {
@@ -143,7 +157,7 @@ func (t *Trainer) haloExchangeForward(dev int, h *tensor.Matrix, dim int) (*tens
 		if t.real() {
 			m := tensor.New(len(rows), dim)
 			for i, r := range rows {
-				copy(m.Row(i), h.Row(int(r)))
+				copy(m.Row(i), ownRow(r))
 			}
 			outs[peer] = comm.Payload{Mat: m}
 		} else {
@@ -156,8 +170,12 @@ func (t *Trainer) haloExchangeForward(dev int, h *tensor.Matrix, dim int) (*tens
 		return nil, sent
 	}
 	xsrc := tensor.New(p.block.NumSrc(), dim)
-	for i := 0; i < h.Rows; i++ {
-		copy(xsrc.Row(i), h.Row(i))
+	if idx != nil {
+		tensor.GatherInto(xsrc, h, idx)
+	} else {
+		for i := 0; i < h.Rows; i++ {
+			copy(xsrc.Row(i), h.Row(i))
+		}
 	}
 	for peer := 0; peer < n; peer++ {
 		if peer == dev || in[peer].Mat == nil {

@@ -79,6 +79,7 @@ type gatHeadCtx struct {
 
 type gatCtx struct {
 	h    *tensor.Matrix
+	idx  []int32 // non-nil: input row r is h[idx[r]] (gather-fused)
 	attn *GATAttnCtx
 }
 
@@ -89,12 +90,22 @@ func (l *GATLayer) ProjectHead(k int, h *tensor.Matrix) *tensor.Matrix {
 	return tensor.MatMul(h, l.Ws[k].W)
 }
 
+// ProjectHeadGathered computes Z = feats[idx] @ W_k without
+// materializing the gathered rows.
+func (l *GATLayer) ProjectHeadGathered(k int, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+	return tensor.GatherMatMul(feats, idx, l.Ws[k].W)
+}
+
 // ProjectHeadBackward accumulates dW_k += hᵀ dZ and returns dH = dZ W_kᵀ.
 func (l *GATLayer) ProjectHeadBackward(k int, h, dZ *tensor.Matrix) *tensor.Matrix {
-	gw := tensor.TMatMul(h, dZ)
-	l.Ws[k].G.AddInPlace(gw)
-	tensor.Put(gw)
+	tensor.TMatMulAcc(l.Ws[k].G, h, dZ)
 	return tensor.MatMulT(dZ, l.Ws[k].W)
+}
+
+// AccumulateHeadProjGrad accumulates dW_k += feats[idx]ᵀ @ dZ straight
+// from the feature store, with no input gradient.
+func (l *GATLayer) AccumulateHeadProjGrad(k int, feats *tensor.Matrix, idx []int32, dZ *tensor.Matrix) {
+	tensor.GatherTMatMulAcc(l.Ws[k].G, feats, idx, dZ)
 }
 
 // headAttention runs one head's attention given the already-projected
@@ -143,31 +154,42 @@ func (l *GATLayer) AttentionForward(blk *sample.Block, zs []*tensor.Matrix) (*te
 		}
 		tensor.Put(o)
 	}
-	ctx.out = applyActivation(l.Act, concat)
-	if ctx.out != concat { // activation cloned the concat buffer
-		tensor.Put(concat)
+	// Activation applied in place on the concat buffer — no extra clone.
+	if l.Act == ActReLU {
+		tensor.ReLUInPlace(concat)
 	}
+	ctx.out = concat
 	return ctx.out, ctx
 }
 
 // AttentionBackward propagates dOut through activation and every
 // head's attention, accumulating aL/aR gradients, and returns the
-// per-head gradients w.r.t. the projections zs.
+// per-head gradients w.r.t. the projections zs. The activation mask is
+// fused into the per-head slice extraction, eliminating the masked
+// copy of the full concatenated gradient.
 func (l *GATLayer) AttentionBackward(blk *sample.Block, ctx *GATAttnCtx, dOut *tensor.Matrix) []*tensor.Matrix {
-	dConcat := activationBackward(l.Act, ctx.out, dOut)
 	nDst := blk.NumDst()
 	dh := l.OutPerHead()
+	relu := l.Act == ActReLU
 	dZs := make([]*tensor.Matrix, l.Heads)
 	for k := 0; k < l.Heads; k++ {
 		dO := tensor.Get(nDst, dh)
 		for i := 0; i < nDst; i++ {
-			copy(dO.Row(i), dConcat.Row(i)[k*dh:(k+1)*dh])
+			dr := dOut.Row(i)[k*dh : (k+1)*dh]
+			dst := dO.Row(i)
+			if relu {
+				or := ctx.out.Row(i)[k*dh : (k+1)*dh]
+				for j := range dst {
+					if or[j] > 0 { // dO starts zeroed; masked entries stay 0
+						dst[j] = dr[j]
+					}
+				}
+			} else {
+				copy(dst, dr)
+			}
 		}
 		dZs[k] = l.headBackwardToProjection(k, blk, ctx.heads[k], dO)
 		tensor.Put(dO)
-	}
-	if dConcat != dOut { // ActNone passes dOut through untouched
-		tensor.Put(dConcat)
 	}
 	return dZs
 }
@@ -185,13 +207,41 @@ func (l *GATLayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix,
 	return out, &gatCtx{h: h, attn: attn}
 }
 
+// ForwardGathered implements GatherLayer: per-head projections read the
+// feature store through idx, no gathered copy.
+func (l *GATLayer) ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) (*tensor.Matrix, LayerCtx) {
+	if len(idx) != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: GAT forward got %d src indices, block has %d", len(idx), blk.NumSrc()))
+	}
+	if idx == nil {
+		idx = []int32{} // empty block: stay on the gather-fused path
+	}
+	zs := make([]*tensor.Matrix, l.Heads)
+	for k := 0; k < l.Heads; k++ {
+		zs[k] = l.ProjectHeadGathered(k, feats, idx)
+	}
+	out, attn := l.AttentionForward(blk, zs)
+	return out, &gatCtx{h: feats, idx: idx, attn: attn}
+}
+
 // Backward implements Layer.
 func (l *GATLayer) Backward(blk *sample.Block, ctxI LayerCtx, dOut *tensor.Matrix) *tensor.Matrix {
 	ctx := ctxI.(*gatCtx)
 	dZs := l.AttentionBackward(blk, ctx.attn, dOut)
-	dHTotal := tensor.Get(ctx.h.Rows, l.InDim())
+	var dHTotal *tensor.Matrix
+	if ctx.idx != nil {
+		dHTotal = tensor.Get(len(ctx.idx), l.InDim())
+	} else {
+		dHTotal = tensor.Get(ctx.h.Rows, l.InDim())
+	}
 	for k := 0; k < l.Heads; k++ {
-		dH := l.ProjectHeadBackward(k, ctx.h, dZs[k])
+		var dH *tensor.Matrix
+		if ctx.idx != nil {
+			l.AccumulateHeadProjGrad(k, ctx.h, ctx.idx, dZs[k])
+			dH = tensor.MatMulT(dZs[k], l.Ws[k].W)
+		} else {
+			dH = l.ProjectHeadBackward(k, ctx.h, dZs[k])
+		}
 		dHTotal.AddInPlace(dH)
 		tensor.Put(dH)
 		tensor.Put(dZs[k])
@@ -200,6 +250,22 @@ func (l *GATLayer) Backward(blk *sample.Block, ctxI LayerCtx, dOut *tensor.Matri
 		tensor.Put(ctx.attn.heads[k].z)
 	}
 	return dHTotal
+}
+
+// BackwardParams implements GatherLayer: attention + projection
+// parameter gradients only, no dIn and no per-head dH matrices.
+func (l *GATLayer) BackwardParams(blk *sample.Block, ctxI LayerCtx, dOut *tensor.Matrix) {
+	ctx := ctxI.(*gatCtx)
+	dZs := l.AttentionBackward(blk, ctx.attn, dOut)
+	for k := 0; k < l.Heads; k++ {
+		if ctx.idx != nil {
+			l.AccumulateHeadProjGrad(k, ctx.h, ctx.idx, dZs[k])
+		} else {
+			tensor.TMatMulAcc(l.Ws[k].G, ctx.h, dZs[k])
+		}
+		tensor.Put(dZs[k])
+		tensor.Put(ctx.attn.heads[k].z)
+	}
 }
 
 // headBackwardToProjection propagates one head's output gradient back

@@ -26,25 +26,64 @@ type InferenceLayer interface {
 	Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix
 }
 
-// Infer implements InferenceLayer for GraphSAGE: Project + aggregate +
-// activation with the projection recycled immediately.
+// inferFused is the shared SAGE inference body over a plain or
+// gather-fused input.
+func (l *SAGELayer) inferFused(blk *sample.Block, h *tensor.Matrix, idx []int32) *tensor.Matrix {
+	var z *tensor.Matrix
+	if idx != nil {
+		z = l.ProjectGathered(h, idx)
+	} else {
+		z = l.Project(h)
+	}
+	s := tensor.SegmentAggFused(blk.EdgePtr, blk.SrcIdx, z, l.Agg == AggMean, l.Act == ActReLU)
+	tensor.Put(z)
+	return s
+}
+
+// Infer implements InferenceLayer for GraphSAGE: projection + fused
+// aggregate/activate with the projection recycled immediately.
 func (l *SAGELayer) Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix {
 	if h.Rows != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: SAGE infer got %d src rows, block has %d", h.Rows, blk.NumSrc()))
 	}
-	z := l.Project(h)
-	var s *tensor.Matrix
-	if l.Agg == AggSum {
-		s = tensor.SegmentSum(blk.EdgePtr, blk.SrcIdx, z)
-	} else {
-		s = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, z)
+	return l.inferFused(blk, h, nil)
+}
+
+// InferGathered implements GatherLayer.
+func (l *SAGELayer) InferGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+	if len(idx) != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: SAGE infer got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
-	tensor.Put(z)
-	out := applyActivation(l.Act, s)
-	if out != s { // activation cloned; recycle the pre-activation sums
-		tensor.Put(s)
+	if idx == nil {
+		idx = []int32{} // empty block: stay on the gather-fused path
 	}
-	return out
+	return l.inferFused(blk, feats, idx)
+}
+
+// inferFused is the shared GAT inference body over a plain or
+// gather-fused input.
+func (l *GATLayer) inferFused(blk *sample.Block, h *tensor.Matrix, idx []int32) *tensor.Matrix {
+	nDst := blk.NumDst()
+	dh := l.OutPerHead()
+	concat := tensor.Get(nDst, l.OutDim())
+	for k := 0; k < l.Heads; k++ {
+		var z *tensor.Matrix
+		if idx != nil {
+			z = l.ProjectHeadGathered(k, h, idx)
+		} else {
+			z = l.ProjectHead(k, h)
+		}
+		o, _ := l.headAttention(k, blk, z)
+		tensor.Put(z)
+		for i := 0; i < nDst; i++ {
+			copy(concat.Row(i)[k*dh:(k+1)*dh], o.Row(i))
+		}
+		tensor.Put(o)
+	}
+	if l.Act == ActReLU {
+		tensor.ReLUInPlace(concat)
+	}
+	return concat
 }
 
 // Infer implements InferenceLayer for GAT: per-head projection and
@@ -54,23 +93,18 @@ func (l *GATLayer) Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix {
 	if h.Rows != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: GAT infer got %d src rows, block has %d", h.Rows, blk.NumSrc()))
 	}
-	nDst := blk.NumDst()
-	dh := l.OutPerHead()
-	concat := tensor.Get(nDst, l.OutDim())
-	for k := 0; k < l.Heads; k++ {
-		z := l.ProjectHead(k, h)
-		o, _ := l.headAttention(k, blk, z)
-		tensor.Put(z)
-		for i := 0; i < nDst; i++ {
-			copy(concat.Row(i)[k*dh:(k+1)*dh], o.Row(i))
-		}
-		tensor.Put(o)
+	return l.inferFused(blk, h, nil)
+}
+
+// InferGathered implements GatherLayer.
+func (l *GATLayer) InferGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+	if len(idx) != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: GAT infer got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
-	out := applyActivation(l.Act, concat)
-	if out != concat {
-		tensor.Put(concat)
+	if idx == nil {
+		idx = []int32{} // empty block: stay on the gather-fused path
 	}
-	return out
+	return l.inferFused(blk, feats, idx)
 }
 
 // Predict runs the inference-only forward pass on mini-batch mb with
@@ -97,6 +131,40 @@ func (m *Model) Predict(mb *sample.MiniBatch, x *tensor.Matrix) *tensor.Matrix {
 		if h != x { // recycle the previous hidden layer's output
 			tensor.Put(h)
 		}
+		h = out
+	}
+	return h
+}
+
+// PredictGathered is Predict with the input gather fused into layer 0:
+// it reads feature rows through idx directly instead of consuming a
+// materialized x, and is bit-identical to
+// Predict(mb, Gather(feats, idx)). Ownership mirrors Predict: feats
+// stays with the caller, the logits transfer to it.
+func (m *Model) PredictGathered(mb *sample.MiniBatch, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+	if len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	var h *tensor.Matrix
+	if gl, ok := m.Layers[0].(GatherLayer); ok {
+		h = gl.InferGathered(mb.Blocks[0], feats, idx)
+	} else {
+		x := tensor.Gather(feats, idx)
+		if il, ok := m.Layers[0].(InferenceLayer); ok {
+			h = il.Infer(mb.Blocks[0], x)
+		} else {
+			h, _ = m.Layers[0].Forward(mb.Blocks[0], x)
+		}
+		tensor.Put(x)
+	}
+	for l := 1; l < len(m.Layers); l++ {
+		var out *tensor.Matrix
+		if il, ok := m.Layers[l].(InferenceLayer); ok {
+			out = il.Infer(mb.Blocks[l], h)
+		} else {
+			out, _ = m.Layers[l].Forward(mb.Blocks[l], h)
+		}
+		tensor.Put(h)
 		h = out
 	}
 	return h

@@ -29,6 +29,26 @@ type Layer interface {
 // LayerCtx carries forward-pass intermediates to the backward pass.
 type LayerCtx interface{}
 
+// GatherLayer is implemented by layers whose layer-0 execution can read
+// input features directly through an index vector (the gather-fused
+// kernels), skipping the materialized tensor.Gather copy, and whose
+// backward can skip the input gradient entirely (raw features are never
+// trained, so dIn at layer 0 is always discarded).
+type GatherLayer interface {
+	Layer
+	// ForwardGathered is Forward with h replaced by (feats, idx):
+	// logical input row r is feats[idx[r]]. idx must have
+	// blk.NumSrc() entries.
+	ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) (*tensor.Matrix, LayerCtx)
+	// BackwardParams is Backward minus the dIn computation: it only
+	// accumulates parameter gradients. Legal exactly when the input
+	// gradient would be discarded.
+	BackwardParams(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matrix)
+	// InferGathered is the InferenceLayer forward with gather-fused
+	// input: no LayerCtx retained, result owned by the caller.
+	InferGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) *tensor.Matrix
+}
+
 // Activation selects the nonlinearity applied to a layer's output.
 type Activation int
 

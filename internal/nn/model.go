@@ -91,19 +91,56 @@ func (m *Model) Forward(mb *sample.MiniBatch, x *tensor.Matrix) *ForwardState {
 
 // Backward propagates dLogits through all layers, accumulating
 // parameter gradients. The gradient w.r.t. the input features is
-// discarded (features are not trained).
+// discarded (features are not trained) — so layer 0 runs its
+// params-only backward when available, skipping the dIn GEMM entirely.
 func (m *Model) Backward(mb *sample.MiniBatch, st *ForwardState, dLogits *tensor.Matrix) {
 	d := dLogits
-	for l := len(m.Layers) - 1; l >= 0; l-- {
+	for l := len(m.Layers) - 1; l > 0; l-- {
 		nd := m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
 		if d != dLogits { // recycle the intermediate gradient chain
 			tensor.Put(d)
 		}
 		d = nd
 	}
+	if gl, ok := m.Layers[0].(GatherLayer); ok {
+		gl.BackwardParams(mb.Blocks[0], st.Ctxs[0], d)
+	} else {
+		tensor.Put(m.Layers[0].Backward(mb.Blocks[0], st.Ctxs[0], d))
+	}
 	if d != dLogits {
 		tensor.Put(d)
 	}
+}
+
+// ForwardGathered is Forward with the input gather fused into layer 0:
+// instead of materializing x = Gather(feats, idx), layer 0 reads the
+// feature rows through idx directly. Falls back to an explicit gather
+// for layers without gather-fused kernels (Inputs[0] then holds the
+// copy).
+func (m *Model) ForwardGathered(mb *sample.MiniBatch, feats *tensor.Matrix, idx []int32) *ForwardState {
+	if len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	st := &ForwardState{
+		Inputs: make([]*tensor.Matrix, len(m.Layers)),
+		Ctxs:   make([]LayerCtx, len(m.Layers)),
+	}
+	var h *tensor.Matrix
+	if gl, ok := m.Layers[0].(GatherLayer); ok {
+		h, st.Ctxs[0] = gl.ForwardGathered(mb.Blocks[0], feats, idx)
+	} else {
+		x := tensor.Gather(feats, idx)
+		st.Inputs[0] = x
+		h, st.Ctxs[0] = m.Layers[0].Forward(mb.Blocks[0], x)
+	}
+	for l := 1; l < len(m.Layers); l++ {
+		st.Inputs[l] = h
+		out, ctx := m.Layers[l].Forward(mb.Blocks[l], h)
+		st.Ctxs[l] = ctx
+		h = out
+	}
+	st.Logits = h
+	return st
 }
 
 // ForwardPartial runs layers [fromLayer, end) given h already computed

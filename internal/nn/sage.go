@@ -65,7 +65,8 @@ func (l *SAGELayer) Params() []*Param { return []*Param{l.W} }
 func (l *SAGELayer) NeedsDstInSrc() bool { return false }
 
 type sageCtx struct {
-	h   *tensor.Matrix // layer input (sources)
+	h   *tensor.Matrix // layer input (sources); the feature store when idx is set
+	idx []int32        // non-nil: input row r is h[idx[r]] (gather-fused)
 	out *tensor.Matrix // post-activation output
 }
 
@@ -75,12 +76,39 @@ func (l *SAGELayer) Project(h *tensor.Matrix) *tensor.Matrix {
 	return tensor.MatMul(h, l.W.W)
 }
 
+// ProjectGathered computes Z = feats[idx] @ W without materializing the
+// gathered rows — the projection reads the feature store through the
+// index vector (SNP serves requests this way).
+func (l *SAGELayer) ProjectGathered(feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+	return tensor.GatherMatMul(feats, idx, l.W.W)
+}
+
 // ProjectBackward accumulates dW += hᵀ dZ and returns dH = dZ Wᵀ.
 func (l *SAGELayer) ProjectBackward(h, dZ *tensor.Matrix) *tensor.Matrix {
-	gw := tensor.TMatMul(h, dZ)
-	l.W.G.AddInPlace(gw)
-	tensor.Put(gw)
+	tensor.TMatMulAcc(l.W.G, h, dZ)
 	return tensor.MatMulT(dZ, l.W.W)
+}
+
+// AccumulateProjGrad accumulates dW += feats[idx]ᵀ @ dZ straight from
+// the feature store, with no input gradient (raw features are not
+// trained) and no gathered copy.
+func (l *SAGELayer) AccumulateProjGrad(feats *tensor.Matrix, idx []int32, dZ *tensor.Matrix) {
+	tensor.GatherTMatMulAcc(l.W.G, feats, idx, dZ)
+}
+
+// forward is the shared fused forward: projection (plain or gathered),
+// then segment aggregation with the mean normalization and activation
+// fused into the same pass over each output row.
+func (l *SAGELayer) forward(blk *sample.Block, h *tensor.Matrix, idx []int32) (*tensor.Matrix, *sageCtx) {
+	var z *tensor.Matrix
+	if idx != nil {
+		z = l.ProjectGathered(h, idx)
+	} else {
+		z = l.Project(h)
+	}
+	s := tensor.SegmentAggFused(blk.EdgePtr, blk.SrcIdx, z, l.Agg == AggMean, l.Act == ActReLU)
+	tensor.Put(z)
+	return s, &sageCtx{h: h, idx: idx, out: s}
 }
 
 // Forward implements Layer.
@@ -88,37 +116,56 @@ func (l *SAGELayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix
 	if h.Rows != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: SAGE forward got %d src rows, block has %d", h.Rows, blk.NumSrc()))
 	}
-	z := l.Project(h)
-	var s *tensor.Matrix
-	if l.Agg == AggSum {
-		s = tensor.SegmentSum(blk.EdgePtr, blk.SrcIdx, z)
-	} else {
-		s = tensor.SegmentMean(blk.EdgePtr, blk.SrcIdx, z)
+	out, c := l.forward(blk, h, nil)
+	return out, c
+}
+
+// ForwardGathered implements GatherLayer.
+func (l *SAGELayer) ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) (*tensor.Matrix, LayerCtx) {
+	if len(idx) != blk.NumSrc() {
+		panic(fmt.Sprintf("nn: SAGE forward got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
-	tensor.Put(z)
-	out := applyActivation(l.Act, s)
-	if out != s { // activation cloned; recycle the pre-activation sums
-		tensor.Put(s)
+	if idx == nil {
+		idx = []int32{} // empty block: stay on the gather-fused path
 	}
-	return out, &sageCtx{h: h, out: out}
+	out, c := l.forward(blk, feats, idx)
+	return out, c
+}
+
+// backwardToProjection runs the fused aggregation backward (activation
+// mask, mean scaling, scatter in one pass) down to dZ.
+func (l *SAGELayer) backwardToProjection(blk *sample.Block, c *sageCtx, dOut *tensor.Matrix) *tensor.Matrix {
+	return tensor.SegmentAggFusedBackward(blk.EdgePtr, blk.SrcIdx, c.out, dOut,
+		l.Agg == AggMean, l.Act == ActReLU, blk.NumSrc())
 }
 
 // Backward implements Layer.
 func (l *SAGELayer) Backward(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matrix) *tensor.Matrix {
 	c := ctx.(*sageCtx)
-	dS := activationBackward(l.Act, c.out, dOut)
-	var dZ *tensor.Matrix
-	if l.Agg == AggSum {
-		dZ = tensor.SegmentSumBackward(blk.EdgePtr, blk.SrcIdx, dS, blk.NumSrc())
+	dZ := l.backwardToProjection(blk, c, dOut)
+	var dH *tensor.Matrix
+	if c.idx != nil {
+		l.AccumulateProjGrad(c.h, c.idx, dZ)
+		dH = tensor.MatMulT(dZ, l.W.W)
 	} else {
-		dZ = tensor.SegmentMeanBackward(blk.EdgePtr, blk.SrcIdx, dS, blk.NumSrc())
+		dH = l.ProjectBackward(c.h, dZ)
 	}
-	if dS != dOut { // ActNone passes dOut through untouched
-		tensor.Put(dS)
-	}
-	dH := l.ProjectBackward(c.h, dZ)
 	tensor.Put(dZ)
 	return dH
+}
+
+// BackwardParams implements GatherLayer: parameter gradients only, no
+// dIn — the layer-0 hot path, where the input gradient was always
+// discarded.
+func (l *SAGELayer) BackwardParams(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matrix) {
+	c := ctx.(*sageCtx)
+	dZ := l.backwardToProjection(blk, c, dOut)
+	if c.idx != nil {
+		l.AccumulateProjGrad(c.h, c.idx, dZ)
+	} else {
+		tensor.TMatMulAcc(l.W.G, c.h, dZ)
+	}
+	tensor.Put(dZ)
 }
 
 // NormalizeAggregate applies the aggregator's normalization to partial
@@ -145,7 +192,12 @@ func (l *SAGELayer) ActivationBackwardOnly(out, dOut *tensor.Matrix) *tensor.Mat
 	return activationBackward(l.Act, out, dOut)
 }
 
-// ApplyActivationOnly exposes the activation for the distributed paths.
+// ApplyActivationOnly applies the activation to s in place and returns
+// it; the distributed paths call it on locally assembled partial-sum
+// matrices they own.
 func (l *SAGELayer) ApplyActivationOnly(s *tensor.Matrix) *tensor.Matrix {
-	return applyActivation(l.Act, s)
+	if l.Act == ActReLU {
+		tensor.ReLUInPlace(s)
+	}
+	return s
 }

@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Kernel micro-benchmarks backing BENCH_kernels.json (`make
+// bench-kernels`). Shapes mirror the real-mode training hot path: a
+// few thousand gathered source rows, feature dims in the dozens to low
+// hundreds, and power-law segment structure from neighbor sampling.
+//
+// The *Unfused / *ThenMatMul variants reproduce the compositions the
+// fused kernels replaced, so each pair measures one fusion in
+// isolation. The Dense/Sparse MatMul pair justifies the per-row
+// zero-skip branch: post-ReLU activations (the dominant MatMul input
+// above layer 0) are typically 40–60% zero.
+
+const (
+	benchRows = 4096 // gathered source rows per mini-batch
+	benchIn   = 64   // input feature dim
+	benchOut  = 64   // hidden dim
+	benchSrcN = 20000
+)
+
+func benchRandMat(rng *graph.RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat32()
+	}
+	return m
+}
+
+// benchSegments builds a sampled-neighborhood CSR: nDst segments of
+// `deg` edges each, sources drawn from [0, nSrc).
+func benchSegments(nDst, deg, nSrc int, rng *graph.RNG) ([]int64, []int32) {
+	edgePtr := make([]int64, nDst+1)
+	srcIdx := make([]int32, nDst*deg)
+	for i := 0; i < nDst; i++ {
+		edgePtr[i+1] = edgePtr[i] + int64(deg)
+		for e := 0; e < deg; e++ {
+			srcIdx[i*deg+e] = int32(rng.Intn(nSrc))
+		}
+	}
+	return edgePtr, srcIdx
+}
+
+func benchIdx(n, srcN int, rng *graph.RNG) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(srcN))
+	}
+	return idx
+}
+
+// --- tiled GEMM: dense vs zero-skip ---
+
+func benchMatMul(b *testing.B, zeroFrac float64) {
+	rng := graph.NewRNG(1)
+	a := benchRandMat(rng, benchRows, benchIn)
+	w := benchRandMat(rng, benchIn, benchOut)
+	if zeroFrac > 0 {
+		sparsify(a, zeroFrac, rng)
+	}
+	b.SetBytes(int64(benchRows * benchIn * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MatMul(a, w)
+		Put(m)
+	}
+}
+
+func BenchmarkMatMulDense(b *testing.B) { benchMatMul(b, 0) }
+
+// BenchmarkMatMulSparse50 measures the zero-skip branch on a post-ReLU
+// sparsity level; the speedup over Dense is what justifies the per-row
+// sparsity check in the kernel.
+func BenchmarkMatMulSparse50(b *testing.B) { benchMatMul(b, 0.5) }
+func BenchmarkMatMulSparse75(b *testing.B) { benchMatMul(b, 0.75) }
+func BenchmarkMatMulSparse90(b *testing.B) { benchMatMul(b, 0.9) }
+
+// BenchmarkMatMulPackedWide exercises the packed-B panel path: enough
+// rows to amortize packing and a wide-enough N to need column tiles.
+func BenchmarkMatMulPackedWide(b *testing.B) {
+	rng := graph.NewRNG(2)
+	a := benchRandMat(rng, benchRows, 128)
+	w := benchRandMat(rng, 128, 256)
+	b.SetBytes(int64(benchRows * 128 * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MatMul(a, w)
+		Put(m)
+	}
+}
+
+// --- fused bias+ReLU epilogue ---
+
+func BenchmarkMatMulBiasReLU(b *testing.B) {
+	rng := graph.NewRNG(3)
+	a := benchRandMat(rng, benchRows, benchIn)
+	w := benchRandMat(rng, benchIn, benchOut)
+	bias := make([]float32, benchOut)
+	for i := range bias {
+		bias[i] = rng.NormFloat32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MatMulBiasReLU(a, w, bias)
+		Put(m)
+	}
+}
+
+// BenchmarkMatMulBiasReLUUnfused is the composition the epilogue
+// replaced: GEMM, then a second pass adding the bias, then a third
+// pass for the activation (into a separate matrix, as the old layer
+// code did).
+func BenchmarkMatMulBiasReLUUnfused(b *testing.B) {
+	rng := graph.NewRNG(3)
+	a := benchRandMat(rng, benchRows, benchIn)
+	w := benchRandMat(rng, benchIn, benchOut)
+	bias := make([]float32, benchOut)
+	for i := range bias {
+		bias[i] = rng.NormFloat32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MatMul(a, w)
+		for r := 0; r < m.Rows; r++ {
+			row := m.Row(r)
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		out := ReLU(m)
+		Put(m)
+		Put(out)
+	}
+}
+
+// --- gather-fused projection ---
+
+func BenchmarkGatherMatMul(b *testing.B) {
+	rng := graph.NewRNG(4)
+	feats := benchRandMat(rng, benchSrcN, benchIn)
+	idx := benchIdx(benchRows, benchSrcN, rng)
+	w := benchRandMat(rng, benchIn, benchOut)
+	b.SetBytes(int64(benchRows * benchIn * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := GatherMatMul(feats, idx, w)
+		Put(m)
+	}
+}
+
+// BenchmarkGatherThenMatMul is the old hot path: materialize the
+// gathered rows, then multiply the copy.
+func BenchmarkGatherThenMatMul(b *testing.B) {
+	rng := graph.NewRNG(4)
+	feats := benchRandMat(rng, benchSrcN, benchIn)
+	idx := benchIdx(benchRows, benchSrcN, rng)
+	w := benchRandMat(rng, benchIn, benchOut)
+	b.SetBytes(int64(benchRows * benchIn * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := Gather(feats, idx)
+		m := MatMul(x, w)
+		Put(x)
+		Put(m)
+	}
+}
+
+// --- transposed gradient accumulation ---
+
+func BenchmarkTMatMulAcc(b *testing.B) {
+	rng := graph.NewRNG(5)
+	a := benchRandMat(rng, benchRows, benchIn)
+	dz := benchRandMat(rng, benchRows, benchOut)
+	sparsify(dz, 0.5, rng) // ReLU-masked gradients
+	dst := New(benchIn, benchOut)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMatMulAcc(dst, a, dz)
+	}
+}
+
+func BenchmarkGatherTMatMulAcc(b *testing.B) {
+	rng := graph.NewRNG(5)
+	feats := benchRandMat(rng, benchSrcN, benchIn)
+	idx := benchIdx(benchRows, benchSrcN, rng)
+	dz := benchRandMat(rng, benchRows, benchOut)
+	sparsify(dz, 0.5, rng)
+	dst := New(benchIn, benchOut)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherTMatMulAcc(dst, feats, idx, dz)
+	}
+}
+
+// --- fused segment aggregation (mean + ReLU in one pass) ---
+
+func BenchmarkSegmentAggFused(b *testing.B) {
+	rng := graph.NewRNG(6)
+	edgePtr, srcIdx := benchSegments(512, 10, benchRows, rng)
+	z := benchRandMat(rng, benchRows, benchOut)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := SegmentAggFused(edgePtr, srcIdx, z, true, true)
+		Put(m)
+	}
+}
+
+// BenchmarkSegmentAggUnfused is the replaced composition: segment mean
+// into one matrix, activation into a second.
+func BenchmarkSegmentAggUnfused(b *testing.B) {
+	rng := graph.NewRNG(6)
+	edgePtr, srcIdx := benchSegments(512, 10, benchRows, rng)
+	z := benchRandMat(rng, benchRows, benchOut)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := SegmentMean(edgePtr, srcIdx, z)
+		out := ReLU(s)
+		Put(s)
+		Put(out)
+	}
+}
+
+func BenchmarkSegmentAggFusedBackward(b *testing.B) {
+	rng := graph.NewRNG(7)
+	edgePtr, srcIdx := benchSegments(512, 10, benchRows, rng)
+	z := benchRandMat(rng, benchRows, benchOut)
+	out := SegmentAggFused(edgePtr, srcIdx, z, true, true)
+	dOut := benchRandMat(rng, 512, benchOut)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dz := SegmentAggFusedBackward(edgePtr, srcIdx, out, dOut, true, true, benchRows)
+		Put(dz)
+	}
+}

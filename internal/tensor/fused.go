@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Gather- and epilogue-fused segment kernels. These collapse the
+// unfused chains the layers used to run as separate full passes —
+// SegmentSum/Mean → normalize → activation clone on the forward, and
+// ReLU mask → mean scale → scatter on the backward — into one pass per
+// output row while it is cache-hot. Per output element the edge terms
+// still accumulate in increasing edge order with a single accumulator,
+// and the normalization/activation apply only after a row's sum is
+// complete, so results are bit-identical to the unfused composition.
+
+// GatherInto copies rows idx of src into the leading len(idx) rows of
+// dst — the in-place form of Gather for preallocated destinations.
+func GatherInto(dst, src *Matrix, idx []int32) {
+	if dst.Cols != src.Cols {
+		panic("tensor: GatherInto column mismatch")
+	}
+	if dst.Rows < len(idx) {
+		panic("tensor: GatherInto destination too small")
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), src.Row(int(r)))
+	}
+}
+
+// ReLUInPlace applies max(0, x) elementwise in place. Negative zero and
+// NaN map to +0, matching ReLU's zero-initialized copy semantics.
+func ReLUInPlace(x *Matrix) {
+	for i, v := range x.Data {
+		if !(v > 0) {
+			x.Data[i] = 0
+		}
+	}
+}
+
+// SegmentAggFused computes, in one pass per destination row,
+//
+//	out[i] = act(norm(Σ_{e in segment i} src[srcIdx[e]]))
+//
+// where norm divides by the segment degree when mean is set (empty and
+// single-edge segments are untouched, matching SegmentMean) and act is
+// ReLU when relu is set. This is the SpMM forward with the aggregator
+// epilogue fused: the sum completes before the epilogue touches the
+// row, so the result is bit-identical to
+// ReLU(SegmentMean(...)) / ReLU(SegmentSum(...)).
+func SegmentAggFused(edgePtr []int64, srcIdx []int32, src *Matrix, mean, relu bool) *Matrix {
+	nDst := len(edgePtr) - 1
+	out := Get(nDst, src.Cols)
+	if runtime.GOMAXPROCS(0) == 1 || nDst < 128 {
+		segmentAggRange(edgePtr, srcIdx, src, out, mean, relu, 0, nDst)
+		return out
+	}
+	parallelRows(nDst, 64, func(lo, hi int) {
+		segmentAggRange(edgePtr, srcIdx, src, out, mean, relu, lo, hi)
+	})
+	return out
+}
+
+func segmentAggRange(edgePtr []int64, srcIdx []int32, src, out *Matrix, mean, relu bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		or := out.Row(i)
+		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
+			sr := src.Row(int(srcIdx[e]))[:len(or)]
+			for j := range or {
+				or[j] += sr[j]
+			}
+		}
+		if mean {
+			if d := edgePtr[i+1] - edgePtr[i]; d > 1 {
+				inv := float32(1.0 / float64(d))
+				for j := range or {
+					or[j] *= inv
+				}
+			}
+		}
+		if relu {
+			for j := range or {
+				if !(or[j] > 0) {
+					or[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// segmentAggScatterRange scatters destinations [lo, hi) of the fused
+// aggregation backward into dSrc. g is a cols-wide scratch row holding
+// the masked+scaled destination gradient, so the mask/scale work is
+// done once per destination rather than once per edge.
+func segmentAggScatterRange(edgePtr []int64, srcIdx []int32, out, dOut, dSrc *Matrix, g []float32, mean, relu bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e0, e1 := edgePtr[i], edgePtr[i+1]
+		if e0 == e1 {
+			continue
+		}
+		dr := dOut.Row(i)
+		gr := g[:len(dr)]
+		if relu {
+			or := out.Row(i)[:len(dr)]
+			for j := range gr {
+				if or[j] > 0 {
+					gr[j] = dr[j]
+				} else {
+					gr[j] = 0
+				}
+			}
+		} else {
+			copy(gr, dr)
+		}
+		if mean {
+			if d := e1 - e0; d > 1 {
+				inv := float32(1.0 / float64(d))
+				for j := range gr {
+					gr[j] *= inv
+				}
+			}
+		}
+		for e := e0; e < e1; e++ {
+			sr := dSrc.Row(int(srcIdx[e]))[:len(gr)]
+			for j := range gr {
+				sr[j] += gr[j]
+			}
+		}
+	}
+}
+
+// SegmentAggFusedBackward is the backward of SegmentAggFused: it masks
+// dOut by the forward output's support (relu), scales by the inverse
+// degree (mean), and scatters to source rows — one fused pass instead
+// of ReLUBackward + SegmentMeanBackward's two intermediate matrices.
+// out is the fused forward's output (only read when relu is set; may be
+// nil otherwise). Parallelizes like SegmentSumBackward: per-worker
+// partial matrices over destination ranges, merged in worker order.
+func SegmentAggFusedBackward(edgePtr []int64, srcIdx []int32, out, dOut *Matrix, mean, relu bool, nSrc int) *Matrix {
+	dSrc := Get(nSrc, dOut.Cols)
+	nDst := dOut.Rows
+	workers := scatterWorkers(nDst)
+	if nDst < segBackwardMinDst || workers <= 1 {
+		g := Get(1, dOut.Cols)
+		segmentAggScatterRange(edgePtr, srcIdx, out, dOut, dSrc, g.Data, mean, relu, 0, nDst)
+		Put(g)
+		return dSrc
+	}
+	partials := make([]*Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (nDst + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= nDst {
+			break
+		}
+		hi := lo + chunk
+		if hi > nDst {
+			hi = nDst
+		}
+		partials[w] = Get(nSrc, dOut.Cols)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := Get(1, dOut.Cols)
+			segmentAggScatterRange(edgePtr, srcIdx, out, dOut, partials[w], g.Data, mean, relu, lo, hi)
+			Put(g)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p != nil {
+			dSrc.AddInPlace(p)
+			Put(p)
+		}
+	}
+	return dSrc
+}

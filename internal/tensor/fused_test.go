@@ -1,0 +1,386 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The tiled/fused kernels promise bit-identity with their naive
+// unfused counterparts (same per-element float32 summation order), so
+// these tests assert EXACT equality, not tolerances.
+
+// naiveMatMulF32 is the reference the blocked kernel must match
+// bitwise: per output element, float32 terms added in increasing k
+// order with a single accumulator.
+func naiveMatMulF32(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// naiveTMatMulAccF32 mirrors TMatMulAcc's contract: rank-1 updates in
+// increasing k order, zero a-entries skipped.
+func naiveTMatMulAccF32(dst, a, b *Matrix) {
+	for kk := 0; kk < a.Rows; kk++ {
+		for i := 0; i < a.Cols; i++ {
+			av := a.At(kk, i)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				dst.Data[i*dst.Cols+j] += av * b.At(kk, j)
+			}
+		}
+	}
+}
+
+func matricesExact(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (must be bit-identical)",
+				name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// sparsify zeroes a fraction of entries, mimicking post-ReLU
+// activations that trigger the zero-skip kernel.
+func sparsify(m *Matrix, frac float64, rng *graph.RNG) {
+	for i := range m.Data {
+		if rng.Float64() < frac {
+			m.Data[i] = 0
+		}
+	}
+}
+
+func TestTiledMatMulBitIdenticalToNaive(t *testing.T) {
+	rng := graph.NewRNG(31)
+	// Shapes chosen to cross every blocking boundary: single k-panel,
+	// multiple k-panels (k > gemmKC), column blocking + packing
+	// (n > gemmNB with a tall row block), and ragged remainders.
+	for _, dims := range [][3]int{
+		{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 32, 48},
+		{40, gemmKC + 37, gemmNB + 61}, {gemmPackMinRows + 5, 2 * gemmKC, gemmNB + 1},
+		{100, 7, 3}, {5, 300, 300},
+	} {
+		a := randomMatrix(dims[0], dims[1], rng)
+		b := randomMatrix(dims[1], dims[2], rng)
+		got := MatMul(a, b)
+		matricesExact(t, "MatMul", got, naiveMatMulF32(a, b))
+		Put(got)
+	}
+}
+
+func TestSparseMatMulBitIdenticalToDense(t *testing.T) {
+	// The per-row zero-skip dispatch must not change results: skipped
+	// terms are av*bv == ±0 added to a +0-rooted accumulator, which is
+	// bitwise inert. Mix dense and ~90%-sparse rows in one matrix so
+	// both kernels run.
+	rng := graph.NewRNG(32)
+	a := randomMatrix(60, 2*gemmKC, rng)
+	for i := 0; i < a.Rows; i += 2 {
+		row := a.Row(i)
+		for j := range row {
+			if rng.Float64() < 0.9 {
+				row[j] = 0
+			}
+		}
+	}
+	b := randomMatrix(a.Cols, 33, rng)
+	got := MatMul(a, b)
+	matricesExact(t, "sparse MatMul", got, naiveMatMulF32(a, b))
+	Put(got)
+}
+
+func TestMatMulBiasReLUMatchesComposition(t *testing.T) {
+	rng := graph.NewRNG(33)
+	a := randomMatrix(50, 20, rng)
+	b := randomMatrix(20, gemmNB+10, rng) // cross the column-block boundary
+	bias := make([]float32, b.Cols)
+	for i := range bias {
+		bias[i] = rng.NormFloat32()
+	}
+	want := naiveMatMulF32(a, b)
+	for i := 0; i < want.Rows; i++ {
+		row := want.Row(i)
+		for j := range row {
+			v := row[j] + bias[j]
+			if !(v > 0) {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+	got := MatMulBiasReLU(a, b, bias)
+	matricesExact(t, "MatMulBiasReLU", got, want)
+	Put(got)
+
+	// nil bias = fused activation only.
+	wantNoBias := naiveMatMulF32(a, b)
+	ReLUInPlace(wantNoBias)
+	got = MatMulBiasReLU(a, b, nil)
+	matricesExact(t, "MatMulBiasReLU(nil bias)", got, wantNoBias)
+	Put(got)
+}
+
+func TestGatherMatMulBitIdenticalToGatherThenMatMul(t *testing.T) {
+	rng := graph.NewRNG(34)
+	src := randomMatrix(40, 24, rng)
+	b := randomMatrix(24, 18, rng)
+	idx := make([]int32, 77)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(src.Rows))
+	}
+	gathered := Gather(src, idx)
+	want := MatMul(gathered, b)
+	got := GatherMatMul(src, idx, b)
+	matricesExact(t, "GatherMatMul", got, want)
+	Put(got)
+	Put(want)
+
+	// Slice form: columns [lo, hi) of each indexed row.
+	lo, hi := 5, 19
+	bs := randomMatrix(hi-lo, 9, rng)
+	sliced := New(len(idx), hi-lo)
+	for i, r := range idx {
+		copy(sliced.Row(i), src.Row(int(r))[lo:hi])
+	}
+	want = MatMul(sliced, bs)
+	got = GatherMatMulSlice(src, idx, lo, hi, bs)
+	matricesExact(t, "GatherMatMulSlice", got, want)
+	Put(got)
+	Put(want)
+}
+
+func TestMatMulTBitIdenticalToNaive(t *testing.T) {
+	rng := graph.NewRNG(35)
+	for _, dims := range [][3]int{{3, 5, 4}, {50, 30, gemmTB + 21}, {17, 130, 90}} {
+		a := randomMatrix(dims[0], dims[1], rng)
+		b := randomMatrix(dims[2], dims[1], rng)
+		want := New(a.Rows, b.Rows)
+		for i := 0; i < a.Rows; i++ {
+			for j := 0; j < b.Rows; j++ {
+				var s float32
+				for k := 0; k < a.Cols; k++ {
+					s += a.At(i, k) * b.At(j, k)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		got := MatMulT(a, b)
+		matricesExact(t, "MatMulT", got, want)
+		Put(got)
+	}
+}
+
+func TestTMatMulAccBitIdenticalToNaive(t *testing.T) {
+	rng := graph.NewRNG(36)
+	for _, rows := range []int{7, 63, tmatmulAccMinRows + 31} { // sequential + (maybe) parallel
+		a := randomMatrix(rows, 12, rng)
+		sparsify(a, 0.5, rng) // exercise the zero-skip pairs
+		b := randomMatrix(rows, 15, rng)
+		got := randomMatrix(12, 15, rng) // nonzero dst: accumulate, not overwrite
+		want := got.Clone()
+		TMatMulAcc(got, a, b)
+		naiveTMatMulAccF32(want, a, b)
+		if runtime.GOMAXPROCS(0) == 1 || rows < tmatmulAccMinRows {
+			matricesExact(t, "TMatMulAcc", got, want)
+		} else if d := got.MaxAbsDiff(want); d > 1e-3 {
+			// Parallel partials merge in worker order: reassociation only.
+			t.Errorf("TMatMulAcc parallel diff %g", d)
+		}
+	}
+}
+
+func TestGatherTMatMulAccMatchesGatherThenAcc(t *testing.T) {
+	rng := graph.NewRNG(37)
+	src := randomMatrix(30, 16, rng)
+	idx := make([]int32, 45)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(src.Rows))
+	}
+	b := randomMatrix(len(idx), 11, rng)
+
+	want := Get(src.Cols, b.Cols)
+	TMatMulAcc(want, Gather(src, idx), b)
+	got := Get(src.Cols, b.Cols)
+	GatherTMatMulAcc(got, src, idx, b)
+	matricesExact(t, "GatherTMatMulAcc", got, want)
+	Put(got)
+	Put(want)
+
+	lo, hi := 3, 13
+	sliced := New(len(idx), hi-lo)
+	for i, r := range idx {
+		copy(sliced.Row(i), src.Row(int(r))[lo:hi])
+	}
+	want = Get(hi-lo, b.Cols)
+	TMatMulAcc(want, sliced, b)
+	got = Get(hi-lo, b.Cols)
+	GatherTMatMulAccSlice(got, src, idx, lo, hi, b)
+	matricesExact(t, "GatherTMatMulAccSlice", got, want)
+	Put(got)
+	Put(want)
+}
+
+func TestSegmentAggFusedMatchesUnfusedComposition(t *testing.T) {
+	rng := graph.NewRNG(38)
+	edgePtr, srcIdx := randomCSR(200, 80, 7, rng)
+	src := randomMatrix(80, 13, rng)
+	for _, mean := range []bool{false, true} {
+		for _, relu := range []bool{false, true} {
+			var want *Matrix
+			if mean {
+				want = SegmentMean(edgePtr, srcIdx, src)
+			} else {
+				want = SegmentSum(edgePtr, srcIdx, src)
+			}
+			if relu {
+				masked := ReLU(want)
+				Put(want)
+				want = masked
+			}
+			got := SegmentAggFused(edgePtr, srcIdx, src, mean, relu)
+			matricesExact(t, "SegmentAggFused", got, want)
+
+			// Backward: mask by forward support, scale by degree, scatter.
+			dOut := randomMatrix(got.Rows, got.Cols, rng)
+			var dWant *Matrix
+			{
+				d := dOut
+				if relu {
+					d = ReLUBackward(got, dOut)
+				}
+				if mean {
+					dWant = SegmentMeanBackward(edgePtr, srcIdx, d, src.Rows)
+				} else {
+					dWant = SegmentSumBackward(edgePtr, srcIdx, d, src.Rows)
+				}
+				if relu {
+					Put(d)
+				}
+			}
+			dGot := SegmentAggFusedBackward(edgePtr, srcIdx, got, dOut, mean, relu, src.Rows)
+			matricesExact(t, "SegmentAggFusedBackward", dGot, dWant)
+			Put(dGot)
+			Put(dWant)
+			Put(dOut)
+			Put(got)
+			Put(want)
+		}
+	}
+}
+
+func TestSegmentAggFusedBackwardParallelMatchesSequential(t *testing.T) {
+	rng := graph.NewRNG(39)
+	nDst, nSrc := 4*segBackwardMinDst, 220
+	edgePtr, srcIdx := randomCSR(nDst, nSrc, 10, rng)
+	src := randomMatrix(nSrc, 9, rng)
+	out := SegmentAggFused(edgePtr, srcIdx, src, true, true)
+	dOut := randomMatrix(nDst, 9, rng)
+
+	got := SegmentAggFusedBackward(edgePtr, srcIdx, out, dOut, true, true, nSrc)
+	want := Get(nSrc, 9)
+	g := Get(1, 9)
+	segmentAggScatterRange(edgePtr, srcIdx, out, dOut, want, g.Data, true, true, 0, nDst)
+	if d := got.MaxAbsDiff(want); d > 1e-3 {
+		t.Errorf("parallel SegmentAggFusedBackward diff %g", d)
+	}
+	Put(g)
+	Put(got)
+	Put(want)
+}
+
+func TestReLUInPlaceMatchesReLU(t *testing.T) {
+	x := FromData(1, 6, []float32{-1, 0, 2, -3, float32(math.Copysign(0, -1)), float32(math.NaN())})
+	want := ReLU(x)
+	ReLUInPlace(x)
+	for i := range want.Data {
+		if x.Data[i] != want.Data[i] || math.Signbit(float64(x.Data[i])) != math.Signbit(float64(want.Data[i])) {
+			t.Errorf("ReLUInPlace[%d] = %v (signbit %v), want %v", i, x.Data[i],
+				math.Signbit(float64(x.Data[i])), want.Data[i])
+		}
+	}
+}
+
+func TestGatherIntoMatchesGather(t *testing.T) {
+	rng := graph.NewRNG(40)
+	src := randomMatrix(12, 5, rng)
+	idx := []int32{4, 4, 0, 11, 7}
+	want := Gather(src, idx)
+	dst := Get(len(idx)+3, 5) // oversized destination: only leading rows written
+	GatherInto(dst, src, idx)
+	for i := range idx {
+		for j := 0; j < 5; j++ {
+			if dst.At(i, j) != want.At(i, j) {
+				t.Fatalf("GatherInto mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	Put(dst)
+}
+
+// TestFusedKernelsAllocFree is the allocation guard for the fused hot
+// path: with the pool warm and GOMAXPROCS=1 (the inline kernel path),
+// one fused forward+backward step through every new kernel must not
+// touch the allocator.
+func TestFusedKernelsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := graph.NewRNG(41)
+	feats := randomMatrix(300, 32, rng)
+	w := randomMatrix(32, 16, rng)
+	bias := make([]float32, 16)
+	edgePtr, srcIdx := randomCSR(120, 200, 6, rng)
+	idx := make([]int32, 200)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(feats.Rows))
+	}
+	grad := New(32, 16)
+
+	step := func() {
+		z := GatherMatMul(feats, idx, w)
+		s := SegmentAggFused(edgePtr, srcIdx, z, true, true)
+		fz := MatMulBiasReLU(z, randomStaticB, bias)
+		dOut := s // reuse as a stand-in gradient
+		dZ := SegmentAggFusedBackward(edgePtr, srcIdx, s, dOut, true, true, z.Rows)
+		GatherTMatMulAcc(grad, feats, idx, dZ)
+		dH := MatMulT(dZ, w)
+		ReLUInPlace(dH)
+		Put(dH)
+		Put(dZ)
+		Put(fz)
+		Put(s)
+		Put(z)
+	}
+	step() // warm the pools
+	if allocs := testing.AllocsPerRun(10, step); allocs > 0 {
+		t.Errorf("fused kernel step allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// randomStaticB is a fixed operand for the alloc-free test (built once
+// so the closure itself performs no setup allocation).
+var randomStaticB = func() *Matrix {
+	rng := graph.NewRNG(42)
+	return randomMatrix(16, 16, rng)
+}()

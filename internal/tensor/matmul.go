@@ -3,7 +3,20 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Dense GEMM kernels, cache-blocked and fused.
+//
+// Every variant preserves one invariant: for each output element, the
+// k-index terms are accumulated in strictly increasing k order with a
+// single accumulator. Cache blocking only reorders work ACROSS output
+// elements (row blocks, column blocks, k-panels processed low-to-high),
+// never the summation order WITHIN one element, so the engine's
+// bit-identical-logits guarantee survives tiling. The k-unrolled inner
+// loops keep the adds sequential per element ((((s+t0)+t1)+t2)+t3),
+// which is the same operation sequence as four separate iterations —
+// multi-accumulator reductions would reassociate and are not used.
 
 // parallelRows runs fn over row ranges [lo, hi) on up to GOMAXPROCS
 // goroutines. Small matrices run inline to avoid goroutine overhead.
@@ -36,113 +49,494 @@ func parallelRows(rows int, minRowsPerTask int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MatMul returns a @ b (a: m x k, b: k x n). The result is pool-backed
-// (see Get/Put); callers that discard it may Put it back.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic("tensor: MatMul inner dimension mismatch")
+// Blocking parameters. gemmKC bounds the k-panel so a panel of B rows
+// stays cache-resident across a row block; gemmNB bounds the output
+// column block so one block of B columns (and its packed panel) fits
+// comfortably in L1/L2 alongside the A row.
+const (
+	gemmKC = 128
+	gemmNB = 256
+	// gemmPackMinRows is the row-block size below which packing a B
+	// panel cannot amortize its copy.
+	gemmPackMinRows = 32
+	// gemmTB blocks the B rows of MatMulT so a panel of them is reused
+	// across many A rows.
+	gemmTB = 64
+)
+
+// parallelTiles partitions an m x n output into (row block x column
+// block) tiles and runs fn over them on up to GOMAXPROCS goroutines
+// pulling tiles from a shared counter — 2D parallelism with disjoint
+// output regions. Small problems (or GOMAXPROCS=1) run inline.
+func parallelTiles(rows, cols, minRowsPerTask, colBlock int, fn func(i0, i1, j0, j1 int)) {
+	jb := (cols + colBlock - 1) / colBlock
+	if jb < 1 {
+		jb = 1
 	}
-	out := Get(a.Rows, b.Cols)
-	n := b.Cols
-	parallelRows(a.Rows, 16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			or := out.Row(i)
-			for kk, av := range ar {
-				if av == 0 {
-					continue
+	workers := runtime.GOMAXPROCS(0)
+	rb := 1
+	if minRowsPerTask > 0 {
+		rb = rows / minRowsPerTask
+	}
+	if rb > workers {
+		rb = workers
+	}
+	if rb < 1 {
+		rb = 1
+	}
+	tiles := rb * jb
+	if workers == 1 || tiles == 1 {
+		for j0 := 0; j0 < cols; j0 += colBlock {
+			j1 := j0 + colBlock
+			if j1 > cols {
+				j1 = cols
+			}
+			fn(0, rows, j0, j1)
+		}
+		return
+	}
+	chunk := (rows + rb - 1) / rb
+	if workers > tiles {
+		workers = tiles
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tiles {
+					return
 				}
-				br := b.Data[kk*n : kk*n+n]
-				for j, bv := range br {
-					or[j] += av * bv
+				i0 := (t / jb) * chunk
+				i1 := i0 + chunk
+				if i1 > rows {
+					i1 = rows
+				}
+				j0 := (t % jb) * colBlock
+				j1 := j0 + colBlock
+				if j1 > cols {
+					j1 = cols
+				}
+				if i0 < i1 {
+					fn(i0, i1, j0, j1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gemmA is the left-operand view of the blocked GEMM: plain matrix
+// rows, gathered rows (row r reads src[idx[r]]), or a column window
+// [lo, hi) of either — the gather- and shard-fused forms share one
+// kernel body instead of materializing copies.
+type gemmA struct {
+	src *Matrix
+	idx []int32 // nil: row r is src row r
+	lo  int     // column window into each source row
+	hi  int
+}
+
+func (g gemmA) row(r int) []float32 {
+	if g.idx != nil {
+		r = int(g.idx[r])
+	}
+	base := r * g.src.Cols
+	return g.src.Data[base+g.lo : base+g.hi]
+}
+
+func (g gemmA) k() int { return g.hi - g.lo }
+
+// gemmPanelDense accumulates or[j] += Σ_kk arp[kk] * B[kk][j] over one
+// k-panel, k increasing, no zero-skip branch in the inner loop. arp is
+// the A-row slice aligned with the panel; bd holds the panel's B rows
+// starting at its first row with stride bw, offset bj selecting the
+// output column window.
+func gemmPanelDense(or, arp, bd []float32, bw, bj int) {
+	n := len(or)
+	kk := 0
+	for ; kk+3 < len(arp); kk += 4 {
+		a0, a1, a2, a3 := arp[kk], arp[kk+1], arp[kk+2], arp[kk+3]
+		o := kk*bw + bj
+		b0 := bd[o : o+n]
+		b1 := bd[o+bw : o+bw+n]
+		b2 := bd[o+2*bw : o+2*bw+n]
+		b3 := bd[o+3*bw : o+3*bw+n]
+		for j := range or {
+			s := or[j]
+			s += a0 * b0[j]
+			s += a1 * b1[j]
+			s += a2 * b2[j]
+			s += a3 * b3[j]
+			or[j] = s
+		}
+	}
+	for ; kk < len(arp); kk++ {
+		av := arp[kk]
+		o := kk*bw + bj
+		br := bd[o : o+n]
+		for j := range or {
+			or[j] += av * br[j]
+		}
+	}
+}
+
+// gemmPanelSparse is the zero-skipping panel kernel, profitable only
+// when enough A-row entries are exactly zero (post-ReLU activations).
+// Skipped terms contribute av*bv == ±0, so the value is identical to
+// the dense kernel for finite data; the k order of the remaining terms
+// is unchanged.
+func gemmPanelSparse(or, arp, bd []float32, bw, bj int) {
+	n := len(or)
+	for kk := 0; kk < len(arp); kk++ {
+		av := arp[kk]
+		if av == 0 {
+			continue
+		}
+		o := kk*bw + bj
+		br := bd[o : o+n]
+		for j := range or {
+			or[j] += av * br[j]
+		}
+	}
+}
+
+// gemmRowIsSparse decides the per-row kernel. The branchy zero-skip
+// loop mispredicts too often near 50/50 — measured on
+// BenchmarkMatMulDense/Sparse{50,75,90}, it loses ~13% at half zeros
+// and only wins from about two-thirds zeros up (1.3× at 75%, 3× at
+// 90%) — so dispatch to it only when at least 2/3 of the panel entries
+// are zero. Both kernels skip the same terms of the same k-ordered
+// sum, so the choice never changes a single output bit.
+func gemmRowIsSparse(arp []float32) bool {
+	zeros := 0
+	for _, v := range arp {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return 3*zeros >= 2*len(arp)
+}
+
+// gemmTile computes one output tile [i0,i1) x [j0,j1) of out += A @ b,
+// k-panels low-to-high, with the optional fused bias+ReLU epilogue once
+// the tile's k-sum is complete.
+func gemmTile(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool, i0, i1, j0, j1 int) {
+	k, n := a.k(), out.Cols
+	jw := j1 - j0
+	// Pack the B panel when column blocking is active and the row block
+	// is tall enough to amortize the copy: the packed panel is
+	// contiguous, so the inner kernels stream it without striding across
+	// the full B row.
+	var packMat *Matrix
+	var pack []float32
+	if jw < n && i1-i0 >= gemmPackMinRows {
+		packMat = Get(gemmKC, jw)
+		pack = packMat.Data
+	}
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > k {
+			k1 = k
+		}
+		bd, bw, bj := b.Data[k0*n:], n, j0
+		if pack != nil {
+			for kk := k0; kk < k1; kk++ {
+				copy(pack[(kk-k0)*jw:(kk-k0)*jw+jw], b.Data[kk*n+j0:kk*n+j1])
+			}
+			bd, bw, bj = pack, jw, 0
+		}
+		for i := i0; i < i1; i++ {
+			arp := a.row(i)[k0:k1]
+			or := out.Row(i)[j0:j1]
+			if gemmRowIsSparse(arp) {
+				gemmPanelSparse(or, arp, bd, bw, bj)
+			} else {
+				gemmPanelDense(or, arp, bd, bw, bj)
+			}
+		}
+	}
+	if packMat != nil {
+		Put(packMat)
+	}
+	if bias != nil || relu {
+		for i := i0; i < i1; i++ {
+			or := out.Row(i)[j0:j1]
+			if bias != nil {
+				bb := bias[j0:j1]
+				for j := range or {
+					or[j] += bb[j]
+				}
+			}
+			if relu {
+				for j := range or {
+					if !(or[j] > 0) {
+						or[j] = 0
+					}
 				}
 			}
 		}
+	}
+}
+
+// gemmInto computes out += A @ b tiled. Single-proc (and small)
+// problems walk the column blocks directly — no closure, no goroutines,
+// zero allocations in steady state; larger ones go through the 2D tile
+// scheduler.
+func gemmInto(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool) {
+	if a.k() != b.Rows {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	m, n := out.Rows, out.Cols
+	if m == 0 || n == 0 {
+		return
+	}
+	if runtime.GOMAXPROCS(0) == 1 || m < 32 {
+		for j0 := 0; j0 < n; j0 += gemmNB {
+			j1 := j0 + gemmNB
+			if j1 > n {
+				j1 = n
+			}
+			gemmTile(out, a, b, bias, relu, 0, m, j0, j1)
+		}
+		return
+	}
+	parallelTiles(m, n, 16, gemmNB, func(i0, i1, j0, j1 int) {
+		gemmTile(out, a, b, bias, relu, i0, i1, j0, j1)
 	})
+}
+
+// MatMul returns a @ b (a: m x k, b: k x n). The result is pool-backed
+// (see Get/Put); callers that discard it may Put it back.
+func MatMul(a, b *Matrix) *Matrix {
+	out := Get(a.Rows, b.Cols)
+	gemmInto(out, gemmA{src: a, hi: a.Cols}, b, nil, false)
 	return out
 }
 
-// MatMulT returns a @ bᵀ (a: m x k, b: n x k).
+// MatMulBiasReLU returns relu(a @ b + bias), the fused projection
+// epilogue: the bias add and activation run on each output tile while
+// it is cache-hot, instead of as separate full passes. bias may be nil
+// (activation only). The k-sum completes before the epilogue, so the
+// result is exactly ReLU(MatMul(a,b)+bias).
+func MatMulBiasReLU(a, b *Matrix, bias []float32) *Matrix {
+	if bias != nil && len(bias) != b.Cols {
+		panic("tensor: MatMulBiasReLU bias length mismatch")
+	}
+	out := Get(a.Rows, b.Cols)
+	gemmInto(out, gemmA{src: a, hi: a.Cols}, b, bias, true)
+	return out
+}
+
+// GatherMatMul returns src[idx] @ b without materializing the gathered
+// rows: the kernel reads source rows through the index vector directly
+// (DGL's gather-mm). Bit-identical to MatMul(Gather(src, idx), b).
+func GatherMatMul(src *Matrix, idx []int32, b *Matrix) *Matrix {
+	out := Get(len(idx), b.Cols)
+	gemmInto(out, gemmA{src: src, idx: idx, hi: src.Cols}, b, nil, false)
+	return out
+}
+
+// GatherMatMulSlice returns src[idx][:, lo:hi] @ b — the gather-fused
+// form of NFP's per-shard projection, reading only the column window
+// [lo, hi) of each indexed row.
+func GatherMatMulSlice(src *Matrix, idx []int32, lo, hi int, b *Matrix) *Matrix {
+	out := Get(len(idx), b.Cols)
+	gemmInto(out, gemmA{src: src, idx: idx, lo: lo, hi: hi}, b, nil, false)
+	return out
+}
+
+// MatMulT returns a @ bᵀ (a: m x k, b: n x k). Each output element is
+// one dot product accumulated in increasing k order; B rows are
+// processed in blocks so a panel of them is reused across many A rows.
 func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic("tensor: MatMulT inner dimension mismatch")
 	}
 	out := Get(a.Rows, b.Rows)
+	if runtime.GOMAXPROCS(0) == 1 || a.Rows < 32 {
+		matmulTRange(out, a, b, 0, a.Rows)
+		return out
+	}
 	parallelRows(a.Rows, 16, func(lo, hi int) {
+		matmulTRange(out, a, b, lo, hi)
+	})
+	return out
+}
+
+func matmulTRange(out, a, b *Matrix, lo, hi int) {
+	k := a.Cols
+	for j0 := 0; j0 < b.Rows; j0 += gemmTB {
+		j1 := j0 + gemmTB
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
 		for i := lo; i < hi; i++ {
 			ar := a.Row(i)
 			or := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				br := b.Row(j)
+			for j := j0; j < j1; j++ {
+				br := b.Row(j)[:len(ar)]
 				var s float32
-				for kk := range ar {
+				kk := 0
+				for ; kk+3 < k; kk += 4 {
+					s += ar[kk] * br[kk]
+					s += ar[kk+1] * br[kk+1]
+					s += ar[kk+2] * br[kk+2]
+					s += ar[kk+3] * br[kk+3]
+				}
+				for ; kk < k; kk++ {
 					s += ar[kk] * br[kk]
 				}
 				or[j] = s
 			}
 		}
-	})
-	return out
+	}
 }
 
-// TMatMul returns aᵀ @ b (a: k x m, b: k x n); used for weight
-// gradients (Xᵀ @ dY).
-func TMatMul(a, b *Matrix) *Matrix {
+// tmatmulAccMinRows is the k extent below which the transposed
+// accumulate runs sequentially (per-worker partials are not worth
+// their zeroing/merging cost on small blocks).
+const tmatmulAccMinRows = 64
+
+// TMatMulAcc accumulates dst += aᵀ @ b (a: k x m, b: k x n, dst: m x n)
+// — the weight-gradient kernel (Xᵀ @ dY) writing straight into the
+// gradient buffer, eliminating the scratch-matrix + AddInPlace round
+// trip. Terms are added in increasing k order per element; rows of a
+// that are entirely zero in a k-pair are skipped (post-ReLU sparsity),
+// which is value-identical for finite data.
+//
+// Large k parallelizes over k ranges with per-worker partial matrices
+// merged in worker order: deterministic for a fixed GOMAXPROCS, but
+// the summation order differs from the sequential path (same caveat as
+// the segment scatter backwards).
+func TMatMulAcc(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
-		panic("tensor: TMatMul outer dimension mismatch")
+		panic("tensor: TMatMulAcc outer dimension mismatch")
 	}
-	out := Get(a.Cols, b.Cols)
-	// Parallelize over the k dimension with per-worker accumulators to
-	// avoid write contention on the (small) output. Partials merge in
-	// worker order, so the result is deterministic for a fixed
-	// GOMAXPROCS (summation order differs from the sequential path).
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: TMatMulAcc output shape mismatch")
+	}
+	gatherTMatMulAcc(dst, gemmA{src: a, hi: a.Cols}, b)
+}
+
+// GatherTMatMulAcc accumulates dst += src[idx]ᵀ @ b without
+// materializing the gathered rows — the layer-0 weight gradient read
+// straight from the feature store.
+func GatherTMatMulAcc(dst, src *Matrix, idx []int32, b *Matrix) {
+	if len(idx) != b.Rows {
+		panic("tensor: GatherTMatMulAcc outer dimension mismatch")
+	}
+	gatherTMatMulAcc(dst, gemmA{src: src, idx: idx, hi: src.Cols}, b)
+}
+
+// GatherTMatMulAccSlice accumulates dst += src[idx][:, lo:hi]ᵀ @ b —
+// NFP's weight-shard gradient from the feature columns [lo, hi).
+func GatherTMatMulAccSlice(dst, src *Matrix, idx []int32, lo, hi int, b *Matrix) {
+	if len(idx) != b.Rows {
+		panic("tensor: GatherTMatMulAccSlice outer dimension mismatch")
+	}
+	gatherTMatMulAcc(dst, gemmA{src: src, idx: idx, lo: lo, hi: hi}, b)
+}
+
+func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
+	rows := b.Rows
 	workers := runtime.GOMAXPROCS(0)
-	if a.Rows < 64 || workers == 1 {
-		tmatmulRange(a, b, out, 0, a.Rows)
-		return out
+	if rows < tmatmulAccMinRows || workers == 1 {
+		tmatmulAccRange(dst, a, b, 0, rows)
+		return
 	}
 	partials := make([]*Matrix, workers)
 	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		if lo >= a.Rows {
+		if lo >= rows {
 			break
 		}
 		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
+		if hi > rows {
+			hi = rows
 		}
-		partials[w] = Get(a.Cols, b.Cols)
+		partials[w] = Get(dst.Rows, dst.Cols)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			tmatmulRange(a, b, partials[w], lo, hi)
+			tmatmulAccRange(partials[w], a, b, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, p := range partials {
 		if p != nil {
-			out.AddInPlace(p)
+			dst.AddInPlace(p)
 			Put(p)
 		}
 	}
-	return out
 }
 
-func tmatmulRange(a, b, out *Matrix, lo, hi int) {
-	n := b.Cols
-	for kk := lo; kk < hi; kk++ {
-		ar := a.Row(kk)
-		br := b.Row(kk)
+// tmatmulAccRange applies the rank-1 updates of k rows [lo, hi) to dst,
+// two k rows at a time. The paired form halves the passes over dst; the
+// per-element adds stay sequential in k order, so the association is
+// identical to two separate iterations.
+func tmatmulAccRange(dst *Matrix, a gemmA, b *Matrix, lo, hi int) {
+	m, n := dst.Rows, dst.Cols
+	kk := lo
+	for ; kk+1 < hi; kk += 2 {
+		ar0 := a.row(kk)
+		ar1 := a.row(kk + 1)
+		br0 := b.Row(kk)[:n]
+		br1 := b.Row(kk + 1)[:n]
+		for i := 0; i < m; i++ {
+			a0, a1 := ar0[i], ar1[i]
+			if a0 == 0 {
+				if a1 == 0 {
+					continue
+				}
+				or := dst.Data[i*n : i*n+n]
+				for j := range or {
+					or[j] += a1 * br1[j]
+				}
+				continue
+			}
+			or := dst.Data[i*n : i*n+n]
+			if a1 == 0 {
+				for j := range or {
+					or[j] += a0 * br0[j]
+				}
+				continue
+			}
+			for j := range or {
+				s := or[j]
+				s += a0 * br0[j]
+				s += a1 * br1[j]
+				or[j] = s
+			}
+		}
+	}
+	for ; kk < hi; kk++ {
+		ar := a.row(kk)
+		br := b.Row(kk)[:n]
 		for i, av := range ar {
 			if av == 0 {
 				continue
 			}
-			or := out.Data[i*n : i*n+n]
-			for j, bv := range br {
-				or[j] += av * bv
+			or := dst.Data[i*n : i*n+n]
+			for j := range or {
+				or[j] += av * br[j]
 			}
 		}
 	}
+}
+
+// TMatMul returns aᵀ @ b (a: k x m, b: k x n); used for weight
+// gradients that cannot accumulate in place (fresh scratch).
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: TMatMul outer dimension mismatch")
+	}
+	out := Get(a.Cols, b.Cols)
+	gatherTMatMulAcc(out, gemmA{src: a, hi: a.Cols}, b)
+	return out
 }
