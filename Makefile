@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-kernels
+.PHONY: build test lint verify bench bench-kernels
 
 build:
 	$(GO) build ./...
@@ -8,21 +8,27 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs go vet plus aptlint, the repo's own analyzer suite
+# (determinism, hot-path allocation, and tensor-pool invariants — see
+# DESIGN.md decision 14). Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/aptlint
+
 # Fused kernels that must stay allocation-free in steady state (the
 # pipelined engine depends on it); verify runs them under -benchmem and
 # fails on any non-zero allocs/op.
 ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|TMatMulAcc$$|SegmentAggFused'
 
-# verify is the pre-merge gate: vet + build everything (including the
-# serving daemon), run the concurrency-heavy packages (pipelined
-# engine, pooled kernels, inference server, span/metrics collection)
-# under the race detector, then hold the fused kernels to zero
-# steady-state allocations.
-verify:
-	$(GO) vet ./...
+# verify is the pre-merge gate: lint (vet + aptlint) + build everything
+# (including the serving daemon), run the concurrency-heavy packages
+# (pipelined engine, pooled kernels, inference server, span/metrics
+# collection, comm ledger, device clocks) under the race detector, then
+# hold the fused kernels to zero steady-state allocations.
+verify: lint
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
-	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/...
+	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/...
 	$(GO) test -run XXX -bench $(ALLOC_FREE_KERNELS) -benchmem -benchtime 50x ./internal/tensor/ \
 		| awk '/^Benchmark/ { if ($$(NF-1)+0 != 0) { print "FAIL (allocs/op != 0):", $$0; bad=1 } } END { exit bad }'
 

@@ -1,0 +1,52 @@
+// Command aptlint runs the repo's static-analysis suite (simclock,
+// detrange, hotalloc, poolpair, directive — see DESIGN.md decision 14)
+// over the whole module and exits non-zero on any unsuppressed finding.
+//
+// Usage:
+//
+//	aptlint [-C dir] [-v]
+//
+// aptlint always analyzes the full module rooted at dir (default: the
+// nearest go.mod at or above the working directory) — the invariants it
+// enforces are module-wide, so there is no package filter to narrow a
+// run below the gate `make verify` applies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/aptlint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to analyze (the nearest go.mod at or above it is the root)")
+	verbose := flag.Bool("v", false, "also list suppressed findings with their //apt:allow reasons")
+	flag.Parse()
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aptlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(aptlint.Main(os.Stdout, root, *verbose))
+}
+
+func findModuleRoot(start string) (string, error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found at or above %s", start)
+		}
+		dir = parent
+	}
+}

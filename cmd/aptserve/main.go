@@ -146,6 +146,8 @@ func main() {
 // runLoadGen fires nReq requests from conc concurrent clients at the
 // in-process server and reports latency percentiles, throughput,
 // batch sizes, cache hit rate, and label accuracy against the dataset.
+//
+//apt:allow simclock the load generator measures real request latency and throughput
 func runLoadGen(srv *serve.Server, ds *dataset.Dataset, nReq, conc, perReq int) {
 	fmt.Printf("load generator: %d requests, %d clients, %d node(s)/request\n", nReq, conc, perReq)
 	var next, correct, answered atomic.Int64
@@ -208,6 +210,8 @@ type predictResponse struct {
 }
 
 // serveHTTP runs the HTTP daemon until SIGINT/SIGTERM, then drains.
+//
+//apt:allow simclock the per-request latency_ms field is a wall-clock serving metric
 func serveHTTP(srv *serve.Server, addr string) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {

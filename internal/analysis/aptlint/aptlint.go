@@ -1,0 +1,62 @@
+// Package aptlint assembles the repo's analyzer suite and drives it —
+// the library behind cmd/aptlint and the module-wide cleanliness test.
+package aptlint
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/directive"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/poolpair"
+	"repro/internal/analysis/simclock"
+)
+
+// All is the full analyzer suite, in reporting-name order. Each entry
+// guards one structural invariant — see DESIGN.md decision 14.
+var All = []*analysis.Analyzer{
+	detrange.Analyzer,
+	directive.Analyzer,
+	hotalloc.Analyzer,
+	poolpair.Analyzer,
+	simclock.Analyzer,
+}
+
+func init() {
+	// Teach the directive validator which analyzer names //apt:allow
+	// may reference. "aptlint" is the driver's own name, used by the
+	// stale-suppression audit.
+	directive.Known["aptlint"] = true
+	for _, a := range All {
+		directive.Known[a.Name] = true
+	}
+}
+
+// CheckModule loads the module rooted at dir and runs the full suite
+// over every production package, returning all findings (suppressed
+// included) in positional order.
+func CheckModule(dir string) ([]analysis.Finding, error) {
+	pkgs, err := analysis.LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(All, pkgs, analysis.Options{ReportUnusedAllows: true})
+}
+
+// Main runs the suite over the module at dir and prints unsuppressed
+// findings to w (all findings when verbose). It returns the process
+// exit code: 0 clean, 1 findings, 2 load/internal failure.
+func Main(w io.Writer, dir string, verbose bool) int {
+	findings, err := CheckModule(dir)
+	if err != nil {
+		fmt.Fprintln(w, "aptlint:", err)
+		return 2
+	}
+	if bad := analysis.Print(w, findings, verbose); bad > 0 {
+		fmt.Fprintf(w, "aptlint: %d unsuppressed finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package aptlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleClean is the acceptance gate: the full suite over the whole
+// module must produce zero unsuppressed findings and zero stale allows.
+// Suppressed findings are fine — they are the audited exceptions — but
+// anything unsuppressed means either a real violation or an allow whose
+// finding disappeared (so the directive should be deleted).
+func TestModuleClean(t *testing.T) {
+	findings, err := CheckModule(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("CheckModule: %v", err)
+	}
+	var bad []string
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			continue
+		}
+		bad = append(bad, f.Pos.String()+": ["+f.Analyzer+"] "+f.Message)
+	}
+	if len(bad) > 0 {
+		t.Errorf("module is not aptlint-clean: %d unsuppressed finding(s):\n  %s",
+			len(bad), strings.Join(bad, "\n  "))
+	}
+	if suppressed == 0 {
+		// The repo carries audited wall-clock allows (serving, CLI
+		// progress) — if none fired, suppression matching is broken.
+		t.Errorf("expected suppressed findings from audited //apt:allow sites, got none")
+	}
+}
+
+// TestViolationsFail proves the gate has teeth: a synthetic module with
+// a wall-clock call in an engine-like package and a tensor.Get whose Put
+// was deleted must produce exactly those unsuppressed findings.
+func TestViolationsFail(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.21\n")
+	write("internal/tensor/tensor.go", `package tensor
+
+type Matrix struct{ Data []float32 }
+
+func Get(r, c int) *Matrix { return &Matrix{Data: make([]float32, r*c)} }
+func Put(m *Matrix)        {}
+`)
+	write("internal/engine/engine.go", `package engine
+
+import (
+	"time"
+
+	"tmpmod/internal/tensor"
+)
+
+func Step() float64 {
+	start := time.Now()
+	m := tensor.Get(4, 4)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return time.Since(start).Seconds()
+}
+`)
+
+	findings, err := CheckModule(dir)
+	if err != nil {
+		t.Fatalf("CheckModule(synthetic): %v", err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		if f.Suppressed {
+			t.Errorf("unexpected suppressed finding in synthetic module: %v", f)
+			continue
+		}
+		counts[f.Analyzer]++
+		t.Logf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+	if counts["simclock"] != 2 {
+		t.Errorf("simclock findings = %d, want 2 (time.Now + time.Since)", counts["simclock"])
+	}
+	if counts["poolpair"] != 1 {
+		t.Errorf("poolpair findings = %d, want 1 (Get with deleted Put)", counts["poolpair"])
+	}
+	if got, want := len(findings), 3; got != want {
+		t.Errorf("total findings = %d, want %d", got, want)
+	}
+}
+
+// TestMainExitCodes pins the CLI contract make lint depends on: clean
+// module → 0, findings → 1 with a summary line.
+func TestMainExitCodes(t *testing.T) {
+	var sb strings.Builder
+	if code := Main(&sb, moduleRoot(t), false); code != 0 {
+		t.Errorf("Main on clean module = %d, want 0; output:\n%s", code, sb.String())
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package p\n\nimport \"time\"\n\nfunc Now() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if code := Main(&sb, dir, false); code != 1 {
+		t.Errorf("Main on dirty module = %d, want 1; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "unsuppressed finding") {
+		t.Errorf("dirty-module output missing summary line:\n%s", sb.String())
+	}
+}
+
+// moduleRoot locates the repo's go.mod from the test's working
+// directory (internal/analysis/aptlint → three levels up).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	return root
+}

@@ -1,0 +1,93 @@
+package detrangedata
+
+import "sort"
+
+// sumValues accumulates floats in map order: the result's bits change
+// run to run.
+func sumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation inside map iteration"
+	}
+	return sum
+}
+
+// perKey writes into a per-key slot: each key is visited exactly once,
+// so order cannot matter.
+func perKey(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// intSum associates: integer addition is order-free.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sendAll(m map[int]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside map iteration"
+	}
+}
+
+func collectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append inside map iteration"
+	}
+	return out
+}
+
+// sortedKeys is the idiomatic deterministic-iteration fix and must not
+// be flagged: bare keys collected, then sorted.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys never sorts, so the collected order leaks out.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside map iteration"
+	}
+	return keys
+}
+
+// nested catches accumulation any depth below the map range.
+func nested(m map[string][]float64) float64 {
+	var sum float64
+	for _, vs := range m {
+		for _, v := range vs {
+			sum += v // want "float accumulation inside map iteration"
+		}
+	}
+	return sum
+}
+
+// sliceRange is not a map: nothing to flag.
+func sliceRange(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func allowed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//apt:allow detrange aggregate is compared with tolerance, not bit-exactly
+		sum += v // want:suppressed "float accumulation"
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+package directivebad
+
+// The two malformations below cannot carry same-line `want` markers —
+// trailing text would change how the directive itself parses — so
+// directive_test.go asserts their findings directly.
+
+//apt:allow
+var a int
+
+//apt:allow simclock
+var b int

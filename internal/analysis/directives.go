@@ -1,0 +1,124 @@
+package analysis
+
+// Directive comments are how source code talks back to aptlint.
+//
+//	//apt:hotpath
+//	    On a function's doc comment: opts the function into the
+//	    hotalloc analyzer — its body must be allocation-free.
+//
+//	//apt:allow <analyzer> <reason>
+//	    Suppresses findings of the named analyzer. On its own line (or
+//	    trailing a statement) it covers that line and the next; on a
+//	    function's doc comment it covers the whole function. The reason
+//	    is mandatory — suppressions are an audited policy decision, not
+//	    an off switch — and the driver reports allows that no longer
+//	    suppress anything, so stale exemptions cannot accumulate.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix   = "//apt:allow"
+	hotpathPrefix = "//apt:hotpath"
+	// directivePrefix is the namespace shared by all aptlint
+	// directives; anything else under it is a typo worth reporting.
+	directivePrefix = "//apt:"
+)
+
+// An AllowDirective is one parsed //apt:allow comment with the line
+// range it covers.
+type AllowDirective struct {
+	Pos      token.Position // position of the comment
+	Analyzer string
+	Reason   string
+	FromLine int
+	ToLine   int
+	// Used is set by the driver when the directive suppresses at least
+	// one finding.
+	Used bool
+}
+
+// AllowsForFile parses every //apt:allow directive in f and resolves
+// its scope: a directive inside a function declaration's doc comment
+// covers the declaration's full line range; any other placement covers
+// the comment's own line plus the following line (so the directive can
+// sit either on or immediately above the code it excuses). Malformed
+// directives are skipped here — the `directive` analyzer reports them.
+func AllowsForFile(fset *token.FileSet, f *ast.File) []*AllowDirective {
+	var out []*AllowDirective
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			analyzer, reason, ok := parseAllow(c.Text)
+			if !ok || analyzer == "" || reason == "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, &AllowDirective{
+				Pos:      pos,
+				Analyzer: analyzer,
+				Reason:   reason,
+				FromLine: pos.Line,
+				ToLine:   pos.Line + 1,
+			})
+		}
+	}
+	// Widen directives that live in a function's doc comment to the
+	// function's whole extent.
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		docFrom := fset.Position(fn.Doc.Pos()).Line
+		docTo := fset.Position(fn.Doc.End()).Line
+		endLine := fset.Position(fn.End()).Line
+		for _, d := range out {
+			if d.FromLine >= docFrom && d.FromLine <= docTo {
+				d.ToLine = endLine
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow splits an //apt:allow comment into analyzer and reason.
+// ok is false when the comment is not an allow directive at all.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", false
+	}
+	rest := text[len(allowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //apt:allowed — a different (unknown) directive.
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// IsHotpath reports whether fn's doc comment carries //apt:hotpath.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if isHotpathComment(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func isHotpathComment(text string) bool {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := text[len(hotpathPrefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}

@@ -1,0 +1,62 @@
+package hotallocdata
+
+type mat struct {
+	rows, cols int
+	data       []float32
+}
+
+// scale is hot and clean: in-place arithmetic over preallocated
+// storage.
+//
+//apt:hotpath
+func scale(xs []float32, a float32) {
+	for i := range xs {
+		xs[i] *= a
+	}
+}
+
+// axpyInto writes into caller-provided storage.
+//
+//apt:hotpath
+func axpyInto(dst, x []float32, a float32) {
+	for i, v := range x {
+		dst[i] += a * v
+	}
+}
+
+// allocEverywhere demonstrates every allocation class the analyzer
+// reports.
+//
+//apt:hotpath
+func allocEverywhere(n int) []float32 {
+	out := make([]float32, n)    // want "make in hot path"
+	p := new(mat)                // want "new in hot path"
+	idx := map[int]bool{}        // want "map literal in hot path"
+	lit := []float32{1, 2}       // want "slice literal in hot path"
+	m := &mat{rows: n}           // want "address-taken composite literal"
+	out = append(out, 1)         // want "append in hot path"
+	f := func() int { return n } // want "closure in hot path"
+	go scale(out, 2)             // want "go statement in hot path"
+	_ = p
+	_ = idx
+	_ = lit
+	_ = m
+	_ = f
+	return out
+}
+
+// coldAlloc is unmarked: hotalloc has no opinion.
+func coldAlloc(n int) []float32 {
+	out := make([]float32, n)
+	return append(out, 1)
+}
+
+// dispatcher fans out once per call by design; the allocation is an
+// audited exception, not a violation.
+//
+//apt:hotpath
+func dispatcher(n int) {
+	//apt:allow hotalloc one-time per-call fan-out; steady-state inner loop is scale
+	partials := make([]float32, n) // want:suppressed "make in hot path"
+	scale(partials, 2)
+}

@@ -1,0 +1,25 @@
+// Package tensor stubs the real pool API (repro/internal/tensor) for
+// the poolpair golden tests; the analyzer matches Get/Put by package
+// path suffix.
+package tensor
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+func Get(rows, cols int) *Matrix { return New(rows, cols) }
+
+func Put(m *Matrix) {}
+
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+func (m *Matrix) AddInPlace(o *Matrix) {
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}

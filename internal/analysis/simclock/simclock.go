@@ -1,0 +1,79 @@
+// Package simclock forbids wall-clock time and the global math/rand
+// source in production code.
+//
+// The reproduction's training substrate runs on a simulated clock:
+// device compute, communication and pipeline overlap are all charged in
+// simulated seconds so that traces are deterministic and the four
+// strategies can be proven bit-identical (PAPER.md §5). A single
+// time.Now() on a modeled path silently turns a reproducible trace into
+// a machine-dependent one, and the global math/rand source introduces
+// cross-test order dependence. Code that legitimately measures wall
+// time (serving latency stats, planner wall-time reporting, CLI
+// progress) must carry an audited //apt:allow simclock directive.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time and global math/rand in simulated-time code",
+	Run:  run,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait
+// on the machine clock. Types (time.Duration, time.Time arithmetic) are
+// fine — the simulated clock itself is expressed in time.Duration.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// globalRandExempt are the math/rand constructors that build an
+// explicitly seeded private source — the deterministic replacement the
+// analyzer is steering code toward.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods like Timer.Reset
+			// follow from an already-flagged constructor.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulated-time code (use the device/comm simulated clock, or //apt:allow simclock <reason>)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandExempt[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand source via rand.%s (seed a private rand.New(rand.NewSource(...)) so runs are reproducible)",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package simclockdata
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()         // want "wall-clock time.Now"
+	time.Sleep(time.Nanosecond) // want "wall-clock time.Sleep"
+	ch := time.After(time.Hour) // want "wall-clock time.After"
+	<-ch
+	t := time.NewTimer(time.Hour) // want "wall-clock time.NewTimer"
+	t.Stop()
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand source via rand.Shuffle"
+	return rand.Intn(10)               // want "global math/rand source via rand.Intn"
+}
+
+// seededRand builds a private, explicitly seeded source — the
+// deterministic replacement the analyzer steers code toward.
+func seededRand() float64 {
+	r := rand.New(rand.NewSource(7))
+	return r.Float64()
+}
+
+// simTick advances a simulated clock: time.Duration arithmetic is fine,
+// only reading the machine clock is not.
+func simTick(now time.Duration) time.Duration { return now + time.Millisecond }
+
+// allowedFunc carries a function-scoped suppression: every simclock
+// finding in the body is excused.
+//
+//apt:allow simclock uptime metric is wall-clock by design
+func allowedFunc() time.Duration {
+	start := time.Now()      // want:suppressed "wall-clock time.Now"
+	return time.Since(start) // want:suppressed "wall-clock time.Since"
+}
+
+func allowedLine() time.Time {
+	//apt:allow simclock progress reporting only
+	return time.Now() // want:suppressed "wall-clock time.Now"
+}
+
+func wrongAllow() time.Time {
+	//apt:allow detrange suppressing the wrong analyzer does nothing
+	return time.Now() // want "wall-clock time.Now"
+}

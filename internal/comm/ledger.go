@@ -26,7 +26,10 @@ func NewLedger() *Ledger {
 	return &Ledger{bytes: map[ledgerKey]int64{}}
 }
 
-// Add records n bytes moved by op over link kind.
+// Add records n bytes moved by op over link kind. Called once per
+// simulated collective on the training loop.
+//
+//apt:hotpath
 func (l *Ledger) Add(op string, kind hardware.LinkKind, n int64) {
 	l.mu.Lock()
 	l.bytes[ledgerKey{op, kind}] += n
@@ -74,6 +77,7 @@ func (l *Ledger) Snapshot() []Entry {
 	defer l.mu.Unlock()
 	out := make([]Entry, 0, len(l.bytes))
 	for k, v := range l.bytes {
+		//apt:allow detrange rows are re-sorted below by (op, kind) — the complete map key — so collection order cannot leak out
 		out = append(out, Entry{Op: k.Op, Kind: k.Kind, Bytes: v})
 	}
 	sort.Slice(out, func(i, j int) bool {

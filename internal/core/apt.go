@@ -83,6 +83,8 @@ func (a *APT) DryRunStats() *DryRunStats { return a.dryRun }
 
 // Prepare runs the paper's Prepare step: communication-operator
 // bandwidth trials and graph partitioning.
+//
+//apt:allow simclock PlanWallSeconds reports real planner overhead (Table 4); the simulated clock only covers training
 func (a *APT) Prepare() error {
 	start := time.Now()
 	a.profile = comm.MeasureProfile(a.task.Platform)
@@ -100,6 +102,8 @@ func (a *APT) Prepare() error {
 }
 
 // Plan runs the dry-run and cost models and selects the strategy.
+//
+//apt:allow simclock PlanWallSeconds reports real planner overhead (Table 4); the simulated clock only covers training
 func (a *APT) Plan() (strategy.Kind, error) {
 	if !a.prepared {
 		if err := a.Prepare(); err != nil {

@@ -111,17 +111,29 @@ func maxf(a, b float64) float64 {
 }
 
 // Select returns the estimates for all candidate strategies sorted
-// best-first; OOM-predicted strategies sort last.
+// best-first; OOM-predicted strategies sort last. Candidates are
+// evaluated in sorted Kind order and cost ties break on Kind, so the
+// planner's pick is identical run to run even when two strategies cost
+// exactly the same (building the slice in map iteration order made the
+// tie-winner random; caught by aptlint/detrange).
 func (cm *CostModel) Select(stats map[strategy.Kind]engine.EpochStats) []Estimate {
-	ests := make([]Estimate, 0, len(stats))
-	for k, st := range stats {
-		ests = append(ests, cm.Estimate(k, st))
+	kinds := make([]strategy.Kind, 0, len(stats))
+	for k := range stats {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	ests := make([]Estimate, 0, len(kinds))
+	for _, k := range kinds {
+		ests = append(ests, cm.Estimate(k, stats[k]))
 	}
 	sort.Slice(ests, func(i, j int) bool {
 		if ests[i].OOM != ests[j].OOM {
 			return !ests[i].OOM
 		}
-		return ests[i].ComparableCost() < ests[j].ComparableCost()
+		if ci, cj := ests[i].ComparableCost(), ests[j].ComparableCost(); ci != cj {
+			return ci < cj
+		}
+		return ests[i].Kind < ests[j].Kind
 	})
 	return ests
 }

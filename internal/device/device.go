@@ -8,6 +8,7 @@ package device
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/hardware"
@@ -60,7 +61,10 @@ func NewGroup(p *hardware.Platform) *Group {
 }
 
 // Charge adds secs of simulated time to the named stage bucket.
-// Safe for concurrent use.
+// Safe for concurrent use. Called for every kernel and collective on
+// the training loop.
+//
+//apt:hotpath
 func (d *Device) Charge(stage string, secs float64) {
 	d.mu.Lock()
 	d.clock[stage] += secs
@@ -74,13 +78,21 @@ func (d *Device) Elapsed(stage string) float64 {
 	return d.clock[stage]
 }
 
-// TotalElapsed sums all stage buckets.
+// TotalElapsed sums all stage buckets. Buckets are added in sorted
+// stage order: float addition does not associate, so summing in map
+// iteration order would make the total's low bits vary run to run and
+// break the deterministic-trace guarantee (caught by aptlint/detrange).
 func (d *Device) TotalElapsed() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	stages := make([]string, 0, len(d.clock))
+	for s := range d.clock {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
 	var t float64
-	for _, v := range d.clock {
-		t += v
+	for _, s := range stages {
+		t += d.clock[s]
 	}
 	return t
 }

@@ -11,17 +11,23 @@ import (
 // mode additionally performs the arithmetic.
 
 // chargeDense charges f dense-matmul FLOPs to the train stage.
+//
+//apt:hotpath
 func (w *worker) chargeDense(f float64) {
 	w.dev.Charge(device.StageTrain, w.eng.cfg.Platform.DenseTime(f))
 }
 
 // chargeSparse charges f memory-bound aggregation FLOPs.
+//
+//apt:hotpath
 func (w *worker) chargeSparse(f float64) {
 	w.dev.Charge(device.StageTrain, w.eng.cfg.Platform.SparseTime(f))
 }
 
 // layerFLOPs returns the (dense, sparse) forward FLOPs of running layer
 // l on a block with the given source/edge counts.
+//
+//apt:hotpath
 func layerFLOPs(l nn.Layer, nSrc, nEdges int64) (dense, sparse float64) {
 	in, out := float64(l.InDim()), float64(l.OutDim())
 	switch lt := l.(type) {
@@ -40,6 +46,8 @@ func layerFLOPs(l nn.Layer, nSrc, nEdges int64) (dense, sparse float64) {
 
 // chargeLayerCompute charges one layer's compute on a block; backward
 // passes cost roughly twice the forward.
+//
+//apt:hotpath
 func (w *worker) chargeLayerCompute(l nn.Layer, nSrc, nEdges int64, backward bool) {
 	dense, sparse := layerFLOPs(l, nSrc, nEdges)
 	if backward {
@@ -51,6 +59,8 @@ func (w *worker) chargeLayerCompute(l nn.Layer, nSrc, nEdges int64, backward boo
 }
 
 // chargeUpperLayers charges the data-parallel layers above layer 1.
+//
+//apt:hotpath
 func (e *Engine) chargeUpperLayers(w *worker, mb *sample.MiniBatch, backward bool) {
 	for l := 1; l < len(w.model.Layers); l++ {
 		blk := mb.Blocks[l]

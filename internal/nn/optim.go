@@ -26,6 +26,8 @@ func NewSGD(lr, momentum float32) *SGD {
 }
 
 // Step implements Optimizer.
+//
+//apt:hotpath
 func (o *SGD) Step(params []*Param) {
 	for _, p := range params {
 		if o.Momentum == 0 {
@@ -59,6 +61,8 @@ func NewAdam(lr float32) *Adam {
 }
 
 // Step implements Optimizer.
+//
+//apt:hotpath
 func (a *Adam) Step(params []*Param) {
 	a.t++
 	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))

@@ -37,6 +37,8 @@ func (s *Server) worker(w *engine.InferWorker) {
 // fill coalesces more queued requests into batch until the dual
 // trigger fires. seedsHint over-counts duplicates (dedup happens at
 // execution), which only makes batches close slightly early.
+//
+//apt:allow simclock the max-delay trigger batches real client arrivals, so it must run on the wall clock
 func (s *Server) fill(batch *[]*pending, seedsHint int, oldest time.Time) {
 	if seedsHint >= s.cfg.MaxBatch {
 		return
@@ -90,6 +92,7 @@ func (s *Server) runBatch(w *engine.InferWorker, rs *sample.RequestSet, batch []
 	}
 	logits, ld := w.Infer(rs.Seeds())
 	latencies := make([]time.Duration, len(batch))
+	//apt:allow simclock request latency is a wall-clock serving metric by design
 	now := time.Now()
 	for i, p := range batch {
 		rows := rs.Rows(i)

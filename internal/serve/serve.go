@@ -242,6 +242,7 @@ func (s *Server) PredictContext(ctx context.Context, nodes []graph.NodeID) ([]Re
 			return nil, &UnknownNodeError{Node: v, NumNodes: n}
 		}
 	}
+	//apt:allow simclock enqueue stamp feeds the wall-clock latency metric and max-delay trigger
 	p := &pending{nodes: nodes, enq: time.Now(), done: make(chan struct{})}
 	// The read lock spans the enqueue so Close cannot close the channel
 	// between the closed-flag check and the send: Close flips the flag

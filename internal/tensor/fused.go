@@ -16,6 +16,8 @@ import (
 
 // GatherInto copies rows idx of src into the leading len(idx) rows of
 // dst — the in-place form of Gather for preallocated destinations.
+//
+//apt:hotpath
 func GatherInto(dst, src *Matrix, idx []int32) {
 	if dst.Cols != src.Cols {
 		panic("tensor: GatherInto column mismatch")
@@ -30,6 +32,8 @@ func GatherInto(dst, src *Matrix, idx []int32) {
 
 // ReLUInPlace applies max(0, x) elementwise in place. Negative zero and
 // NaN map to +0, matching ReLU's zero-initialized copy semantics.
+//
+//apt:hotpath
 func ReLUInPlace(x *Matrix) {
 	for i, v := range x.Data {
 		if !(v > 0) {
@@ -48,6 +52,8 @@ func ReLUInPlace(x *Matrix) {
 // epilogue fused: the sum completes before the epilogue touches the
 // row, so the result is bit-identical to
 // ReLU(SegmentMean(...)) / ReLU(SegmentSum(...)).
+//
+//apt:hotpath
 func SegmentAggFused(edgePtr []int64, srcIdx []int32, src *Matrix, mean, relu bool) *Matrix {
 	nDst := len(edgePtr) - 1
 	out := Get(nDst, src.Cols)
@@ -55,12 +61,16 @@ func SegmentAggFused(edgePtr []int64, srcIdx []int32, src *Matrix, mean, relu bo
 		segmentAggRange(edgePtr, srcIdx, src, out, mean, relu, 0, nDst)
 		return out
 	}
+	//apt:allow hotalloc parallel fan-out body; the steady-state bench path is the sequential branch above
 	parallelRows(nDst, 64, func(lo, hi int) {
 		segmentAggRange(edgePtr, srcIdx, src, out, mean, relu, lo, hi)
 	})
 	return out
 }
 
+// segmentAggRange is the fused aggregation's per-row inner loop.
+//
+//apt:hotpath
 func segmentAggRange(edgePtr []int64, srcIdx []int32, src, out *Matrix, mean, relu bool, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		or := out.Row(i)
@@ -92,6 +102,8 @@ func segmentAggRange(edgePtr []int64, srcIdx []int32, src, out *Matrix, mean, re
 // aggregation backward into dSrc. g is a cols-wide scratch row holding
 // the masked+scaled destination gradient, so the mask/scale work is
 // done once per destination rather than once per edge.
+//
+//apt:hotpath
 func segmentAggScatterRange(edgePtr []int64, srcIdx []int32, out, dOut, dSrc *Matrix, g []float32, mean, relu bool, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		e0, e1 := edgePtr[i], edgePtr[i+1]
@@ -136,6 +148,8 @@ func segmentAggScatterRange(edgePtr []int64, srcIdx []int32, out, dOut, dSrc *Ma
 // out is the fused forward's output (only read when relu is set; may be
 // nil otherwise). Parallelizes like SegmentSumBackward: per-worker
 // partial matrices over destination ranges, merged in worker order.
+//
+//apt:hotpath
 func SegmentAggFusedBackward(edgePtr []int64, srcIdx []int32, out, dOut *Matrix, mean, relu bool, nSrc int) *Matrix {
 	dSrc := Get(nSrc, dOut.Cols)
 	nDst := dOut.Rows
@@ -146,6 +160,7 @@ func SegmentAggFusedBackward(edgePtr []int64, srcIdx []int32, out, dOut *Matrix,
 		Put(g)
 		return dSrc
 	}
+	//apt:allow hotalloc per-worker partials on the parallel fan-out; the steady-state bench path is the sequential branch above
 	partials := make([]*Matrix, workers)
 	var wg sync.WaitGroup
 	chunk := (nDst + workers - 1) / workers
@@ -160,6 +175,7 @@ func SegmentAggFusedBackward(edgePtr []int64, srcIdx []int32, out, dOut *Matrix,
 		}
 		partials[w] = Get(nSrc, dOut.Cols)
 		wg.Add(1)
+		//apt:allow hotalloc parallel fan-out goroutines; see the partials allow above
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			g := Get(1, dOut.Cols)

@@ -140,6 +140,7 @@ type gemmA struct {
 	hi  int
 }
 
+//apt:hotpath
 func (g gemmA) row(r int) []float32 {
 	if g.idx != nil {
 		r = int(g.idx[r])
@@ -155,6 +156,8 @@ func (g gemmA) k() int { return g.hi - g.lo }
 // the A-row slice aligned with the panel; bd holds the panel's B rows
 // starting at its first row with stride bw, offset bj selecting the
 // output column window.
+//
+//apt:hotpath
 func gemmPanelDense(or, arp, bd []float32, bw, bj int) {
 	n := len(or)
 	kk := 0
@@ -189,6 +192,8 @@ func gemmPanelDense(or, arp, bd []float32, bw, bj int) {
 // Skipped terms contribute av*bv == ±0, so the value is identical to
 // the dense kernel for finite data; the k order of the remaining terms
 // is unchanged.
+//
+//apt:hotpath
 func gemmPanelSparse(or, arp, bd []float32, bw, bj int) {
 	n := len(or)
 	for kk := 0; kk < len(arp); kk++ {
@@ -211,6 +216,8 @@ func gemmPanelSparse(or, arp, bd []float32, bw, bj int) {
 // 90%) — so dispatch to it only when at least 2/3 of the panel entries
 // are zero. Both kernels skip the same terms of the same k-ordered
 // sum, so the choice never changes a single output bit.
+//
+//apt:hotpath
 func gemmRowIsSparse(arp []float32) bool {
 	zeros := 0
 	for _, v := range arp {
@@ -224,6 +231,8 @@ func gemmRowIsSparse(arp []float32) bool {
 // gemmTile computes one output tile [i0,i1) x [j0,j1) of out += A @ b,
 // k-panels low-to-high, with the optional fused bias+ReLU epilogue once
 // the tile's k-sum is complete.
+//
+//apt:hotpath
 func gemmTile(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool, i0, i1, j0, j1 int) {
 	k, n := a.k(), out.Cols
 	jw := j1 - j0
@@ -286,6 +295,8 @@ func gemmTile(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool, i0, i1
 // problems walk the column blocks directly — no closure, no goroutines,
 // zero allocations in steady state; larger ones go through the 2D tile
 // scheduler.
+//
+//apt:hotpath
 func gemmInto(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool) {
 	if a.k() != b.Rows {
 		panic("tensor: MatMul inner dimension mismatch")
@@ -304,6 +315,7 @@ func gemmInto(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool) {
 		}
 		return
 	}
+	//apt:allow hotalloc parallel fan-out body; the steady-state bench path is the single-proc branch above
 	parallelTiles(m, n, 16, gemmNB, func(i0, i1, j0, j1 int) {
 		gemmTile(out, a, b, bias, relu, i0, i1, j0, j1)
 	})
@@ -311,6 +323,8 @@ func gemmInto(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool) {
 
 // MatMul returns a @ b (a: m x k, b: k x n). The result is pool-backed
 // (see Get/Put); callers that discard it may Put it back.
+//
+//apt:hotpath
 func MatMul(a, b *Matrix) *Matrix {
 	out := Get(a.Rows, b.Cols)
 	gemmInto(out, gemmA{src: a, hi: a.Cols}, b, nil, false)
@@ -322,6 +336,8 @@ func MatMul(a, b *Matrix) *Matrix {
 // it is cache-hot, instead of as separate full passes. bias may be nil
 // (activation only). The k-sum completes before the epilogue, so the
 // result is exactly ReLU(MatMul(a,b)+bias).
+//
+//apt:hotpath
 func MatMulBiasReLU(a, b *Matrix, bias []float32) *Matrix {
 	if bias != nil && len(bias) != b.Cols {
 		panic("tensor: MatMulBiasReLU bias length mismatch")
@@ -334,6 +350,8 @@ func MatMulBiasReLU(a, b *Matrix, bias []float32) *Matrix {
 // GatherMatMul returns src[idx] @ b without materializing the gathered
 // rows: the kernel reads source rows through the index vector directly
 // (DGL's gather-mm). Bit-identical to MatMul(Gather(src, idx), b).
+//
+//apt:hotpath
 func GatherMatMul(src *Matrix, idx []int32, b *Matrix) *Matrix {
 	out := Get(len(idx), b.Cols)
 	gemmInto(out, gemmA{src: src, idx: idx, hi: src.Cols}, b, nil, false)
@@ -343,6 +361,8 @@ func GatherMatMul(src *Matrix, idx []int32, b *Matrix) *Matrix {
 // GatherMatMulSlice returns src[idx][:, lo:hi] @ b — the gather-fused
 // form of NFP's per-shard projection, reading only the column window
 // [lo, hi) of each indexed row.
+//
+//apt:hotpath
 func GatherMatMulSlice(src *Matrix, idx []int32, lo, hi int, b *Matrix) *Matrix {
 	out := Get(len(idx), b.Cols)
 	gemmInto(out, gemmA{src: src, idx: idx, lo: lo, hi: hi}, b, nil, false)
@@ -352,6 +372,8 @@ func GatherMatMulSlice(src *Matrix, idx []int32, lo, hi int, b *Matrix) *Matrix 
 // MatMulT returns a @ bᵀ (a: m x k, b: n x k). Each output element is
 // one dot product accumulated in increasing k order; B rows are
 // processed in blocks so a panel of them is reused across many A rows.
+//
+//apt:hotpath
 func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic("tensor: MatMulT inner dimension mismatch")
@@ -361,12 +383,14 @@ func MatMulT(a, b *Matrix) *Matrix {
 		matmulTRange(out, a, b, 0, a.Rows)
 		return out
 	}
+	//apt:allow hotalloc parallel fan-out body; the steady-state bench path is the sequential branch above
 	parallelRows(a.Rows, 16, func(lo, hi int) {
 		matmulTRange(out, a, b, lo, hi)
 	})
 	return out
 }
 
+//apt:hotpath
 func matmulTRange(out, a, b *Matrix, lo, hi int) {
 	k := a.Cols
 	for j0 := 0; j0 < b.Rows; j0 += gemmTB {
@@ -412,6 +436,8 @@ const tmatmulAccMinRows = 64
 // merged in worker order: deterministic for a fixed GOMAXPROCS, but
 // the summation order differs from the sequential path (same caveat as
 // the segment scatter backwards).
+//
+//apt:hotpath
 func TMatMulAcc(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic("tensor: TMatMulAcc outer dimension mismatch")
@@ -425,6 +451,8 @@ func TMatMulAcc(dst, a, b *Matrix) {
 // GatherTMatMulAcc accumulates dst += src[idx]ᵀ @ b without
 // materializing the gathered rows — the layer-0 weight gradient read
 // straight from the feature store.
+//
+//apt:hotpath
 func GatherTMatMulAcc(dst, src *Matrix, idx []int32, b *Matrix) {
 	if len(idx) != b.Rows {
 		panic("tensor: GatherTMatMulAcc outer dimension mismatch")
@@ -434,6 +462,8 @@ func GatherTMatMulAcc(dst, src *Matrix, idx []int32, b *Matrix) {
 
 // GatherTMatMulAccSlice accumulates dst += src[idx][:, lo:hi]ᵀ @ b —
 // NFP's weight-shard gradient from the feature columns [lo, hi).
+//
+//apt:hotpath
 func GatherTMatMulAccSlice(dst, src *Matrix, idx []int32, lo, hi int, b *Matrix) {
 	if len(idx) != b.Rows {
 		panic("tensor: GatherTMatMulAccSlice outer dimension mismatch")
@@ -441,6 +471,7 @@ func GatherTMatMulAccSlice(dst, src *Matrix, idx []int32, lo, hi int, b *Matrix)
 	gatherTMatMulAcc(dst, gemmA{src: src, idx: idx, lo: lo, hi: hi}, b)
 }
 
+//apt:hotpath
 func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 	rows := b.Rows
 	workers := runtime.GOMAXPROCS(0)
@@ -448,6 +479,7 @@ func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 		tmatmulAccRange(dst, a, b, 0, rows)
 		return
 	}
+	//apt:allow hotalloc per-worker partials on the parallel fan-out; the steady-state bench path is the sequential branch above
 	partials := make([]*Matrix, workers)
 	var wg sync.WaitGroup
 	chunk := (rows + workers - 1) / workers
@@ -462,6 +494,7 @@ func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 		}
 		partials[w] = Get(dst.Rows, dst.Cols)
 		wg.Add(1)
+		//apt:allow hotalloc parallel fan-out goroutines; see the partials allow above
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			tmatmulAccRange(partials[w], a, b, lo, hi)
@@ -480,6 +513,8 @@ func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 // two k rows at a time. The paired form halves the passes over dst; the
 // per-element adds stay sequential in k order, so the association is
 // identical to two separate iterations.
+//
+//apt:hotpath
 func tmatmulAccRange(dst *Matrix, a gemmA, b *Matrix, lo, hi int) {
 	m, n := dst.Rows, dst.Cols
 	kk := lo
@@ -532,6 +567,8 @@ func tmatmulAccRange(dst *Matrix, a gemmA, b *Matrix, lo, hi int) {
 
 // TMatMul returns aᵀ @ b (a: k x m, b: k x n); used for weight
 // gradients that cannot accumulate in place (fresh scratch).
+//
+//apt:hotpath
 func TMatMul(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic("tensor: TMatMul outer dimension mismatch")

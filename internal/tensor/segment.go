@@ -36,6 +36,8 @@ func SegmentSum(edgePtr []int64, srcIdx []int32, src *Matrix) *Matrix {
 const segBackwardMinDst = 256
 
 // segmentScatterRange accumulates dOut rows [lo, hi) into dSrc.
+//
+//apt:hotpath
 func segmentScatterRange(edgePtr []int64, srcIdx []int32, dOut, dSrc *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dr := dOut.Row(i)
@@ -166,6 +168,8 @@ func SegmentWeightedSum(edgePtr []int64, srcIdx []int32, w []float32, src *Matri
 // weighted-sum backward into dSrc and writes their edge gradients into
 // dW (each edge belongs to exactly one destination, so concurrent
 // ranges write disjoint dW entries).
+//
+//apt:hotpath
 func segmentWeightedScatterRange(edgePtr []int64, srcIdx []int32, w []float32, src, dOut, dSrc *Matrix, dW []float32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dr := dOut.Row(i)
