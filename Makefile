@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-kernels
+.PHONY: build test lint verify bench bench-kernels bench-check
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,10 @@ lint:
 
 # Fused kernels that must stay allocation-free in steady state (the
 # pipelined engine depends on it); verify runs them under -benchmem and
-# fails on any non-zero allocs/op.
-ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|TMatMulAcc$$|SegmentAggFused'
+# fails on any non-zero allocs/op. The Quant variants read through the
+# int8 warm tier — their pooled dequant scratch must not show up as
+# steady-state allocation either.
+ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|GatherMatMulQuant$$|TMatMulAcc$$|TMatMulAccQuant$$|SegmentAggFused'
 
 # verify is the pre-merge gate: lint (vet + aptlint) + build everything
 # (including the serving daemon), run the concurrency-heavy packages
@@ -26,6 +28,7 @@ ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|TMatMulAcc$$|S
 # collection, comm ledger, device clocks) under the race detector, then
 # hold the fused kernels to zero steady-state allocations.
 verify: lint
+	$(GO) run ./cmd/aptlint -audit
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
 	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/...
@@ -38,7 +41,23 @@ bench:
 # bench-kernels regenerates BENCH_kernels.json: the tensor-package
 # kernel micro-benchmarks plus the end-to-end epoch/substrate
 # benchmarks whose pre-fusion baseline is recorded in cmd/benchkernels.
+# Two series are recorded: a GOMAXPROCS=1 run (comparable across
+# machines, the series bench-check gates on) and a GOMAXPROCS=NumCPU
+# run that lets the parallel kernel branches fire on multi-core hosts.
+EPOCH_BENCHES = 'MatMul128|SegmentMean$$|EpochSequential|EpochPipelined'
+
 bench-kernels:
-	( $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
-	  $(GO) test -run XXX -bench 'MatMul128|SegmentMean$$|EpochSequential|EpochPipelined' -benchmem -benchtime 20x . ) \
+	( GOMAXPROCS=1 $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
+	  GOMAXPROCS=1 $(GO) test -run XXX -bench $(EPOCH_BENCHES) -benchmem -benchtime 20x . ; \
+	  echo '# series: maxprocs' ; \
+	  $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
+	  $(GO) test -run XXX -bench $(EPOCH_BENCHES) -benchmem -benchtime 20x . ) \
 		| $(GO) run ./cmd/benchkernels -out BENCH_kernels.json
+
+# bench-check re-runs the GOMAXPROCS=1 series and fails if any shared
+# benchmark's ns/op regressed more than 10% against the committed
+# BENCH_kernels.json record.
+bench-check:
+	( GOMAXPROCS=1 $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
+	  GOMAXPROCS=1 $(GO) test -run XXX -bench $(EPOCH_BENCHES) -benchmem -benchtime 20x . ) \
+		| $(GO) run ./cmd/benchkernels -check -against BENCH_kernels.json

@@ -253,6 +253,21 @@ func benchEpochEngine(b *testing.B, pipeline bool) *engine.Engine {
 	p := hardware.WithDevices(hardware.SingleMachine8GPU(), 1, devices)
 	store := cache.NewStore(p, nodes, dim, feats)
 	store.HostByRange()
+	// Tiered cache, as a calibrated run would configure it: the hottest
+	// quarter of nodes fp32-resident, the next quarter quantized int8
+	// (the 0.25 split the re-planner's candidate set lands on for this
+	// platform), the cold tail reading from host memory.
+	freq := make([]int64, nodes)
+	for v := range freq {
+		freq[v] = int64(g.Degree(graph.NodeID(v)))
+	}
+	hot, warm := cache.SelectTiered(cache.SelectConfig{
+		Policy: cache.PolicyHotGlobal, Freq: freq, Graph: g,
+		CapacityNodes: nodes / 4, Devices: devices,
+	}, nodes/4)
+	for d := range hot {
+		store.ConfigureCacheTiered(d, hot[d], warm[d])
+	}
 	eng, err := engine.New(engine.Config{
 		Platform:  p,
 		Graph:     g,

@@ -10,7 +10,8 @@
 //
 // Experiments: fig1 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
 // fig12 tab1 tab3 tab4 ablation-fullcost ablation-dryrun
-// ablation-cache ext-hybrid ext-nvlink all
+// ablation-cache ablation-pipeline ablation-replan ext-hybrid
+// ext-nvlink all
 package main
 
 import (
@@ -86,6 +87,7 @@ func main() {
 		{"ablation-dryrun", env.AblationDryRunEpochs},
 		{"ablation-cache", env.AblationCachePolicy},
 		{"ablation-pipeline", env.AblationPipelining},
+		{"ablation-replan", env.AblationReplan},
 		{"ext-hybrid", env.ExtensionHybrid},
 		{"ext-nvlink", env.ExtensionNVLink},
 		{"ext-cpucache", env.ExtensionCPUCache},

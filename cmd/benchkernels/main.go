@@ -10,6 +10,16 @@
 //
 //	(go test -run XXX -bench . -benchmem ./internal/tensor/; \
 //	 go test -run XXX -bench 'Epoch' -benchmem .) | benchkernels -out BENCH_kernels.json
+//
+// Two series are recorded: lines before a `# series: maxprocs` marker
+// land in "results" (the GOMAXPROCS=1 series, comparable across
+// machines), lines after it in "results_maxprocs" (GOMAXPROCS=NumCPU,
+// exercising the parallel kernel branches; identical on a 1-CPU box).
+//
+// With -check, benchkernels compares fresh GOMAXPROCS=1 results from
+// stdin against the record in -against and exits non-zero if any
+// shared benchmark's ns/op regressed by more than -tolerance (driven
+// by `make bench-check`).
 package main
 
 import (
@@ -49,15 +59,26 @@ const baselineCommit = "e95e513"
 
 // report is the BENCH_kernels.json document.
 type report struct {
-	GeneratedBy    string             `json:"generated_by"`
-	CPU            string             `json:"cpu,omitempty"`
-	Go             string             `json:"go"`
-	GOMAXPROCS     int                `json:"gomaxprocs"`
-	BaselineCommit string             `json:"baseline_commit"`
-	Baseline       map[string]result  `json:"baseline"`
-	Results        map[string]result  `json:"results"`
-	Speedup        map[string]float64 `json:"speedup_vs_baseline"`
+	GeneratedBy    string            `json:"generated_by"`
+	CPU            string            `json:"cpu,omitempty"`
+	Go             string            `json:"go"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	BaselineCommit string            `json:"baseline_commit"`
+	Baseline       map[string]result `json:"baseline"`
+	Results        map[string]result `json:"results"`
+	// ResultsMaxProcs is the GOMAXPROCS=NumCPU series — the same
+	// benchmarks with the parallel kernel branches eligible to run. On
+	// a single-CPU container it mirrors Results. MaxProcs records the
+	// NumCPU the series ran at.
+	ResultsMaxProcs map[string]result  `json:"results_maxprocs,omitempty"`
+	MaxProcs        int                `json:"maxprocs,omitempty"`
+	Speedup         map[string]float64 `json:"speedup_vs_baseline"`
 }
+
+// seriesMarker switches parsing from the GOMAXPROCS=1 series to the
+// GOMAXPROCS=NumCPU series (emitted between the two runs by `make
+// bench-kernels`).
+const seriesMarker = "# series: maxprocs"
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
@@ -86,37 +107,111 @@ func parseLine(fields []string) (string, result, bool) {
 	return name, r, r.NsPerOp > 0
 }
 
-func main() {
-	out := flag.String("out", "BENCH_kernels.json", "output path")
-	flag.Parse()
-
-	rep := report{
-		GeneratedBy:    "make bench-kernels",
-		Go:             runtime.Version(),
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		BaselineCommit: baselineCommit,
-		Baseline:       baseline,
-		Results:        map[string]result{},
-		Speedup:        map[string]float64{},
-	}
-	sc := bufio.NewScanner(os.Stdin)
+// readSeries parses benchmark output from r into a primary and (after
+// the series marker) a maxprocs result map, also returning the
+// reported CPU model if present.
+func readSeries(r *os.File) (cpu string, primary, maxprocs map[string]result, err error) {
+	primary = map[string]result{}
+	maxprocs = map[string]result{}
+	cur := primary
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
-			rep.CPU = strings.TrimSpace(cpu)
+		if strings.TrimSpace(line) == seriesMarker {
+			cur = maxprocs
 			continue
 		}
-		if name, r, ok := parseLine(strings.Fields(line)); ok {
-			rep.Results[name] = r
+		if c, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(c)
+			continue
+		}
+		if name, res, ok := parseLine(strings.Fields(line)); ok {
+			cur[name] = res
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return cpu, primary, maxprocs, sc.Err()
+}
+
+// check compares fresh results against the recorded report, printing a
+// verdict per shared benchmark, and returns the number of regressions
+// beyond tolerance (e.g. 0.10 = +10% ns/op).
+func check(recordedPath string, fresh map[string]result, tolerance float64) (int, error) {
+	buf, err := os.ReadFile(recordedPath)
+	if err != nil {
+		return 0, err
+	}
+	var rec report
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return 0, fmt.Errorf("%s: %w", recordedPath, err)
+	}
+	names := make([]string, 0, len(rec.Results))
+	for n := range rec.Results {
+		if _, ok := fresh[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no benchmarks shared between stdin and %s", recordedPath)
+	}
+	bad := 0
+	for _, n := range names {
+		was, now := rec.Results[n].NsPerOp, fresh[n].NsPerOp
+		ratio := now/was - 1
+		verdict := "ok"
+		if ratio > tolerance {
+			verdict = "REGRESSED"
+			bad++
+		}
+		fmt.Printf("%-36s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", n, was, now, 100*ratio, verdict)
+	}
+	return bad, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output path")
+	checkMode := flag.Bool("check", false, "compare stdin results against -against instead of writing a record")
+	against := flag.String("against", "BENCH_kernels.json", "recorded report to compare against in -check mode")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression in -check mode")
+	flag.Parse()
+
+	cpu, primary, maxprocs, err := readSeries(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchkernels: read:", err)
 		os.Exit(1)
 	}
-	if len(rep.Results) == 0 {
+	if len(primary) == 0 {
 		fmt.Fprintln(os.Stderr, "benchkernels: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *checkMode {
+		bad, err := check(*against, primary, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchkernels: check:", err)
+			os.Exit(1)
+		}
+		if bad > 0 {
+			fmt.Printf("FAIL: %d benchmark(s) regressed more than %.0f%% vs %s\n", bad, 100**tolerance, *against)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: no benchmark regressed more than %.0f%% vs %s\n", 100**tolerance, *against)
+		return
+	}
+
+	rep := report{
+		GeneratedBy:    "make bench-kernels",
+		CPU:            cpu,
+		Go:             runtime.Version(),
+		GOMAXPROCS:     1, // the primary series is pinned to GOMAXPROCS=1
+		BaselineCommit: baselineCommit,
+		Baseline:       baseline,
+		Results:        primary,
+		Speedup:        map[string]float64{},
+	}
+	if len(maxprocs) > 0 {
+		rep.ResultsMaxProcs = maxprocs
+		rep.MaxProcs = runtime.NumCPU()
 	}
 	for name, base := range baseline {
 		if r, ok := rep.Results[name]; ok && r.NsPerOp > 0 {

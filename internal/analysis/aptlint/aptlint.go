@@ -45,6 +45,41 @@ func CheckModule(dir string) ([]analysis.Finding, error) {
 	return analysis.Run(All, pkgs, analysis.Options{ReportUnusedAllows: true})
 }
 
+// Audit runs the suite over the module at dir and prints every
+// //apt:allow directive with its analyzer, justification, and status:
+// "in-use" when the directive still suppresses a live finding, "STALE"
+// when the finding it excused no longer fires. Exit codes mirror Main:
+// 0 when every allow is in use, 1 when any is stale, 2 on failure.
+// Stale allows also fail the plain lint run; the audit exists so CI
+// can list the whole suppression surface in one place instead of
+// discovering it one deleted directive at a time.
+func Audit(w io.Writer, dir string) int {
+	pkgs, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(w, "aptlint:", err)
+		return 2
+	}
+	_, allows, err := analysis.RunWithAllows(All, pkgs, analysis.Options{})
+	if err != nil {
+		fmt.Fprintln(w, "aptlint:", err)
+		return 2
+	}
+	stale := 0
+	for _, d := range allows {
+		status := "in-use"
+		if !d.Used {
+			status = "STALE"
+			stale++
+		}
+		fmt.Fprintf(w, "%-7s %s: //apt:allow %s %s\n", status, d.Pos, d.Analyzer, d.Reason)
+	}
+	fmt.Fprintf(w, "aptlint: %d allow directive(s), %d stale\n", len(allows), stale)
+	if stale > 0 {
+		return 1
+	}
+	return 0
+}
+
 // Main runs the suite over the module at dir and prints unsuppressed
 // findings to w (all findings when verbose). It returns the process
 // exit code: 0 clean, 1 findings, 2 load/internal failure.

@@ -40,6 +40,16 @@ type Options struct {
 // suppressions, and returns all findings (suppressed ones included)
 // sorted by position. Analyzer errors abort the run.
 func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Finding, error) {
+	findings, _, err := RunWithAllows(analyzers, pkgs, opts)
+	return findings, err
+}
+
+// RunWithAllows is Run returning, additionally, every //apt:allow
+// directive in the module with its post-run usage status (Used is set
+// when the directive suppressed at least one finding) — the data
+// behind the stale-suppression audit. Directives are returned in
+// file-then-line order.
+func RunWithAllows(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Finding, []*AllowDirective, error) {
 	var findings []Finding
 	var allows []*AllowDirective
 	for _, pkg := range pkgs {
@@ -72,7 +82,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Finding, error
 				findings = append(findings, f)
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 			}
 		}
 	}
@@ -100,7 +110,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Finding, error
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return findings, allows, nil
 }
 
 // matchAllow returns the first allow directive for analyzer covering

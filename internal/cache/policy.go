@@ -66,39 +66,69 @@ type SelectConfig struct {
 	Devices int
 }
 
-// Select returns, per device, the sorted list of cached node IDs.
-func Select(cfg SelectConfig) [][]graph.NodeID {
+// rankedLists returns, per device, up to k candidate nodes ranked by
+// the policy's score (hottest first, ties broken by node ID).
+func rankedLists(cfg SelectConfig, k int) [][]graph.NodeID {
 	out := make([][]graph.NodeID, cfg.Devices)
-	if cfg.CapacityNodes <= 0 {
+	if k <= 0 {
 		return out
 	}
 	switch cfg.Policy {
 	case PolicyHotGlobal:
-		top := topByScore(allNodes(len(cfg.Freq)), func(v graph.NodeID) int64 { return cfg.Freq[v] }, cfg.CapacityNodes)
+		top := topByScore(allNodes(len(cfg.Freq)), func(v graph.NodeID) int64 { return cfg.Freq[v] }, k)
 		for d := range out {
 			out[d] = append([]graph.NodeID(nil), top...)
 		}
 	case PolicyDegree:
 		n := cfg.Graph.NumNodes()
-		top := topByScore(allNodes(n), func(v graph.NodeID) int64 { return int64(cfg.Graph.Degree(v)) }, cfg.CapacityNodes)
+		top := topByScore(allNodes(n), func(v graph.NodeID) int64 { return int64(cfg.Graph.Degree(v)) }, k)
 		for d := range out {
 			out[d] = append([]graph.NodeID(nil), top...)
 		}
 	case PolicyHotPartition:
 		cands := partitionCandidates(cfg.Assign, cfg.Devices, nil)
 		for d := range out {
-			out[d] = topByScore(cands[d], func(v graph.NodeID) int64 { return cfg.Freq[v] }, cfg.CapacityNodes)
+			out[d] = topByScore(cands[d], func(v graph.NodeID) int64 { return cfg.Freq[v] }, k)
 		}
 	case PolicyHotPartitionPlus1Hop:
 		cands := partitionCandidates(cfg.Assign, cfg.Devices, cfg.Graph)
 		for d := range out {
-			out[d] = topByScore(cands[d], func(v graph.NodeID) int64 { return cfg.Freq[v] }, cfg.CapacityNodes)
+			out[d] = topByScore(cands[d], func(v graph.NodeID) int64 { return cfg.Freq[v] }, k)
 		}
 	}
+	return out
+}
+
+// Select returns, per device, the sorted list of cached node IDs.
+func Select(cfg SelectConfig) [][]graph.NodeID {
+	out := rankedLists(cfg, cfg.CapacityNodes)
 	for d := range out {
 		sort.Slice(out[d], func(i, j int) bool { return out[d][i] < out[d][j] })
 	}
 	return out
+}
+
+// SelectTiered splits the policy's hotness ranking into two bands per
+// device: the top CapacityNodes stay fp32 (hot), the next warmNodes
+// are admitted to the int8 warm tier. The bands follow the same
+// ranking a single-tier Select would use, so enabling the tier never
+// evicts a row the fp32 cache would have held — it extends coverage
+// downward into rows that would otherwise read from CPU memory.
+func SelectTiered(cfg SelectConfig, warmNodes int) (hot, warm [][]graph.NodeID) {
+	ranked := rankedLists(cfg, cfg.CapacityNodes+warmNodes)
+	hot = make([][]graph.NodeID, cfg.Devices)
+	warm = make([][]graph.NodeID, cfg.Devices)
+	for d := range ranked {
+		h := ranked[d]
+		if len(h) > cfg.CapacityNodes {
+			warm[d] = h[cfg.CapacityNodes:]
+			h = h[:cfg.CapacityNodes]
+		}
+		hot[d] = h
+		sort.Slice(hot[d], func(i, j int) bool { return hot[d][i] < hot[d][j] })
+		sort.Slice(warm[d], func(i, j int) bool { return warm[d][i] < warm[d][j] })
+	}
+	return hot, warm
 }
 
 func allNodes(n int) []graph.NodeID {

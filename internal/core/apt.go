@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/strategy"
+	"repro/internal/tensor"
 )
 
 // APT is the adaptive parallel training system. Typical use:
@@ -39,6 +40,10 @@ type APT struct {
 	prepared bool
 	planned  bool
 
+	// int8Frac is the live warm-tier split used by buildStore. It
+	// starts at Task.Int8CacheFrac and is resized by the re-planner.
+	int8Frac float64
+
 	// Observability: reg always exists (epoch metrics fold into it);
 	// spans is created only when an option asked for span collection.
 	obsO  obs.Options
@@ -54,7 +59,7 @@ func New(task Task, opts ...obs.Option) (*APT, error) {
 	if err := task.normalize(); err != nil {
 		return nil, err
 	}
-	a := &APT{task: task, obsO: obs.BuildOptions(opts...), reg: obs.NewRegistry()}
+	a := &APT{task: task, obsO: obs.BuildOptions(opts...), reg: obs.NewRegistry(), int8Frac: task.Int8CacheFrac}
 	if a.obsO.Enabled() {
 		a.spans = obs.NewCollector()
 	}
@@ -87,7 +92,11 @@ func (a *APT) DryRunStats() *DryRunStats { return a.dryRun }
 //apt:allow simclock PlanWallSeconds reports real planner overhead (Table 4); the simulated clock only covers training
 func (a *APT) Prepare() error {
 	start := time.Now()
-	a.profile = comm.MeasureProfile(a.task.Platform)
+	if a.task.ProfileOverride != nil {
+		a.profile = a.task.ProfileOverride
+	} else {
+		a.profile = comm.MeasureProfile(a.task.Platform)
+	}
 	if a.task.Partition != nil {
 		a.part = a.task.Partition
 	} else {
@@ -144,24 +153,42 @@ func (a *APT) buildStore(k strategy.Kind, freq []int64, real bool) *cache.Store 
 		s.LoadDim = shard
 		bytesPerNode = int64(4 * shard)
 	}
+	// Tier split: the warm fraction of the budget holds int8 rows, the
+	// remainder stays fp32. Quantized rows are charged at their actual
+	// byte size (row + scale/zero header), so the warm tier covers
+	// roughly 4x the nodes per byte.
+	hotBudget := t.CacheBytes
+	warmNodes := 0
+	if a.int8Frac > 0 {
+		warmBudget := int64(float64(t.CacheBytes) * a.int8Frac)
+		hotBudget = t.CacheBytes - warmBudget
+		warmNodes = int(warmBudget / tensor.QuantRowBytes(s.LoadDim))
+	}
 	capNodes := 0
 	if bytesPerNode > 0 {
-		capNodes = int(t.CacheBytes / bytesPerNode)
+		capNodes = int(hotBudget / bytesPerNode)
 	}
 	policy := cachePolicyFor(k)
 	if t.CachePolicyOverride != nil {
 		policy = *t.CachePolicyOverride
 	}
-	lists := cache.Select(cache.SelectConfig{
+	selCfg := cache.SelectConfig{
 		Policy:        policy,
 		Freq:          freq,
 		Assign:        a.part.Assign,
 		Graph:         t.Graph,
 		CapacityNodes: capNodes,
 		Devices:       devices,
-	})
-	for d, l := range lists {
-		s.ConfigureCache(d, l)
+	}
+	if warmNodes > 0 {
+		hot, warm := cache.SelectTiered(selCfg, warmNodes)
+		for d := range hot {
+			s.ConfigureCacheTiered(d, hot[d], warm[d])
+		}
+	} else {
+		for d, l := range cache.Select(selCfg) {
+			s.ConfigureCache(d, l)
+		}
 	}
 	if t.Platform.Machines > 1 && t.CPUCacheBytes > 0 {
 		a.configureCPUCaches(s, freq)
@@ -255,6 +282,9 @@ type Result struct {
 	PlanWallSeconds float64
 	// Epochs holds per-epoch statistics of the actual run.
 	Epochs []engine.EpochStats
+	// Replans lists the online re-planner's switches (TrainAdaptive
+	// runs only; empty when the initial plan held).
+	Replans []ReplanEvent
 	// Model is device 0's trained replica (real mode).
 	Model *nn.Model
 }

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/strategy"
+	"repro/internal/tensor"
+)
+
+// Online adaptive re-planning (the dynamic half of the planner). The
+// dry-run cost model predicts per-stage times from one profiled
+// bandwidth trial and one accounting epoch; both can be wrong at run
+// time — a mis-measured operator, interference from co-located jobs,
+// or access skew that drifts from the dry-run sample. After every
+// epoch the re-planner compares the measured per-stage times (the
+// same numbers RecordEpochMetrics folds into the obs registry) against
+// the prediction for the running plan, derives per-stage correction
+// factors, re-runs strategy selection under the calibrated model, and
+// — behind a hysteresis guard — switches strategy, resizes the
+// pipeline depth, or resizes the fp32/int8 cache-tier split mid-run.
+
+// Plan is one concrete configuration the adaptive trainer can run: a
+// parallelization strategy, a prefetch bound, and a warm-tier split.
+type Plan struct {
+	Kind strategy.Kind
+	// PipelineDepth bounds sampling prefetch when the task pipelines
+	// (0 keeps the engine default).
+	PipelineDepth int
+	// Int8Frac is the warm tier's share of the cache budget.
+	Int8Frac float64
+}
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	return fmt.Sprintf("%v(depth=%d,int8=%.2f)", p.Kind, p.PipelineDepth, p.Int8Frac)
+}
+
+// ReplanConfig bounds the online re-planner. The zero value picks the
+// defaults below.
+type ReplanConfig struct {
+	// MinRelGain is the hysteresis guard: a candidate plan must predict
+	// at least this fractional improvement over the current plan's
+	// calibrated cost before the trainer rebuilds for it. Rebuilding
+	// re-admits caches and resets optimizer moments, so marginal wins
+	// are not worth the churn. Default 0.15.
+	MinRelGain float64
+	// CooldownEpochs blocks further switches for this many epochs after
+	// one fires, so a switch's own transient (cold warm-tier, first
+	// pipelined epoch) cannot trigger an immediate switch back.
+	// Default 1.
+	CooldownEpochs int
+	// Int8Fracs are the candidate warm-tier splits evaluated each
+	// epoch. Default {0, 0.25, 0.5}.
+	Int8Fracs []float64
+	// MaxPipelineDepth caps the prefetch bound. Default 4.
+	MaxPipelineDepth int
+}
+
+func (c *ReplanConfig) normalize() {
+	if c.MinRelGain <= 0 {
+		c.MinRelGain = 0.15
+	}
+	if c.CooldownEpochs <= 0 {
+		c.CooldownEpochs = 1
+	}
+	if len(c.Int8Fracs) == 0 {
+		c.Int8Fracs = []float64{0, 0.25, 0.5}
+	}
+	if c.MaxPipelineDepth <= 0 {
+		c.MaxPipelineDepth = 4
+	}
+}
+
+// ReplanEvent records one plan switch.
+type ReplanEvent struct {
+	// Epoch is the boundary (0-based, after that epoch ran) where the
+	// switch fired.
+	Epoch    int
+	From, To Plan
+	// PredictedGain is the fractional cost reduction the calibrated
+	// model predicted for the switch.
+	PredictedGain float64
+	// Cal is the calibration snapshot the decision used.
+	Cal Calibration
+}
+
+// Replanner turns measured epochs into plan decisions. It owns a
+// calibrated CostModel and the dry-run statistics; Observe is called
+// once per epoch boundary.
+type Replanner struct {
+	cfg   ReplanConfig
+	cm    *CostModel
+	stats map[strategy.Kind]engine.EpochStats
+
+	// freq is the dry-run per-node access counts, hottest first — the
+	// tier model integrates over it to predict how a candidate split
+	// moves load bytes between GPU memory and the host link.
+	freq       []int64
+	cacheBytes int64
+	featDim    int
+	devices    int
+	pipeline   bool
+	// baseFrac is the split the dry-run volumes were collected under;
+	// candidate splits are costed relative to it.
+	baseFrac float64
+
+	cur      Plan
+	cooldown int
+	cal      Calibration
+
+	// Events accumulates every switch, oldest first.
+	Events []ReplanEvent
+}
+
+// NewReplanner builds a re-planner over the planner's dry-run output.
+// stats and freq are read, never written; initial is the plan the
+// first epoch runs under (its Int8Frac must be the split the dry-run
+// volumes were measured with).
+func NewReplanner(cfg ReplanConfig, cm *CostModel, stats map[strategy.Kind]engine.EpochStats,
+	freq []int64, cacheBytes int64, featDim, devices int, pipeline bool, initial Plan) *Replanner {
+	cfg.normalize()
+	sorted := append([]int64(nil), freq...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	return &Replanner{
+		cfg: cfg, cm: cm, stats: stats,
+		freq: sorted, cacheBytes: cacheBytes, featDim: featDim,
+		devices: devices, pipeline: pipeline,
+		baseFrac: initial.Int8Frac, cur: initial,
+	}
+}
+
+// Current returns the plan the trainer should be running.
+func (r *Replanner) Current() Plan { return r.cur }
+
+// Calibration returns the latest per-stage correction factors.
+func (r *Replanner) Calibration() Calibration { return r.cal }
+
+// MeasuredStages reads the last epoch's per-stage seconds back out of
+// the metrics registry (the apt_engine_* gauges RecordEpochMetrics
+// maintains), so a caller holding only the registry can feed Observe.
+func MeasuredStages(reg *obs.Registry) engine.EpochStats {
+	g := func(name string) float64 { return reg.Gauge(name, "").Value() }
+	return engine.EpochStats{
+		SampleSec:  g("apt_engine_sample_seconds"),
+		BuildSec:   g("apt_engine_build_seconds"),
+		LoadSec:    g("apt_engine_load_seconds"),
+		TrainSec:   g("apt_engine_train_seconds"),
+		ShuffleSec: g("apt_engine_shuffle_seconds"),
+	}
+}
+
+// loadDim is the per-read feature width of one strategy (NFP shards
+// the dimension across devices).
+func (r *Replanner) loadDim(k strategy.Kind) int {
+	if k == strategy.NFP {
+		return (r.featDim + r.devices - 1) / r.devices
+	}
+	return r.featDim
+}
+
+// tierLoadSec predicts aggregate feature-load seconds under a
+// candidate warm-tier split by integrating the hottest-first access
+// distribution: the top band hits fp32 GPU cache, the next band hits
+// the int8 tier (quantized bytes at GPU speed), everything below
+// crosses the host link at full width. It is a global approximation —
+// per-device placement is ignored — used only as a ratio against the
+// same model at the dry-run's split, so the systematic error divides
+// out.
+func (r *Replanner) tierLoadSec(k strategy.Kind, frac float64) float64 {
+	dim := r.loadDim(k)
+	rowF := float64(4 * dim)
+	rowQ := float64(tensor.QuantRowBytes(dim))
+	hotN := 0
+	if rowF > 0 {
+		hotN = int(float64(r.cacheBytes) * (1 - frac) / rowF)
+	}
+	warmN := 0
+	if frac > 0 {
+		warmN = int(float64(r.cacheBytes) * frac / rowQ)
+	}
+	p := r.cm.Profile
+	var sec float64
+	for i, f := range r.freq {
+		b := float64(f)
+		switch {
+		case i < hotN:
+			sec += b * rowF / p.GPUReadBps
+		case i < hotN+warmN:
+			sec += b * rowQ / p.GPUReadBps
+		default:
+			sec += b * rowF / p.UVAReadBps
+		}
+	}
+	return sec
+}
+
+// tierRatio scales a strategy's dry-run load estimate from the split
+// the volumes were collected under to a candidate split.
+func (r *Replanner) tierRatio(k strategy.Kind, frac float64) float64 {
+	if frac == r.baseFrac {
+		return 1
+	}
+	base := r.tierLoadSec(k, r.baseFrac)
+	if base <= 0 {
+		return 1
+	}
+	return r.tierLoadSec(k, frac) / base
+}
+
+// planCost is the calibrated strategy-unique cost of one candidate
+// plan. The common training term is excluded from the comparison —
+// like the static planner's — because it would dilute the relative
+// gain and let the hysteresis guard mask real wins.
+func (r *Replanner) planCost(p Plan) float64 {
+	e := r.cm.Estimate(p.Kind, r.stats[p.Kind])
+	e.LoadSec *= r.tierRatio(p.Kind, p.Int8Frac)
+	return e.ComparableCost()
+}
+
+// pipelineDepth picks the prefetch bound from the calibrated stage
+// bars: enough queued batches to hide the sampling/build bar behind
+// the consume bar, clamped to [1, MaxPipelineDepth]. When the task
+// does not pipeline the current depth is kept.
+func (r *Replanner) pipelineDepth(e Estimate) int {
+	if !r.pipeline {
+		return r.cur.PipelineDepth
+	}
+	consume := e.LoadSec + e.TrainSec + e.ShuffleSec
+	if consume <= 0 || e.BuildSec <= 0 {
+		return 1
+	}
+	d := int(math.Ceil(e.BuildSec / consume))
+	if d < 1 {
+		d = 1
+	}
+	if d > r.cfg.MaxPipelineDepth {
+		d = r.cfg.MaxPipelineDepth
+	}
+	return d
+}
+
+// Observe ingests one measured epoch of the current plan and returns
+// the plan the next epoch should run, plus whether it changed. The
+// decision is a pure function of (dry-run stats, measured stages,
+// internal cooldown state): candidate strategies come from the cost
+// model's sorted Select and candidate splits from the configured
+// slice, so the same inputs always produce the same plan.
+func (r *Replanner) Observe(epoch int, measured engine.EpochStats) (Plan, bool) {
+	// Calibrate: measured-over-predicted per stage, where the
+	// prediction is the *uncalibrated* model for the plan that just
+	// ran (its load term scaled to the split it actually used).
+	r.cm.Cal = nil
+	pred := r.cm.Estimate(r.cur.Kind, r.stats[r.cur.Kind])
+	pred.LoadSec *= r.tierRatio(r.cur.Kind, r.cur.Int8Frac)
+	r.cal.Observe(pred, measured)
+	r.cm.Cal = &r.cal
+
+	if r.cooldown > 0 {
+		r.cooldown--
+		return r.cur, false
+	}
+
+	curCost := r.planCost(r.cur)
+	best, bestCost := r.cur, curCost
+	for _, e := range r.cm.Select(r.stats) {
+		if e.OOM {
+			continue
+		}
+		for _, frac := range r.cfg.Int8Fracs {
+			p := Plan{Kind: e.Kind, Int8Frac: frac}
+			if c := r.planCost(p); c < bestCost {
+				best, bestCost = p, c
+			}
+		}
+	}
+	best.PipelineDepth = r.pipelineDepth(r.cm.Estimate(best.Kind, r.stats[best.Kind]))
+
+	if best == r.cur {
+		return r.cur, false
+	}
+	// A depth-only resize costs nothing to apply (no store rebuild),
+	// so it bypasses the gain guard; anything touching the strategy or
+	// the tier split must clear the hysteresis bar.
+	depthOnly := best.Kind == r.cur.Kind && best.Int8Frac == r.cur.Int8Frac
+	gain := 0.0
+	if curCost > 0 {
+		gain = (curCost - bestCost) / curCost
+	}
+	if !depthOnly && gain < r.cfg.MinRelGain {
+		return r.cur, false
+	}
+	r.Events = append(r.Events, ReplanEvent{
+		Epoch: epoch, From: r.cur, To: best, PredictedGain: gain, Cal: r.cal,
+	})
+	r.cur = best
+	r.cooldown = r.cfg.CooldownEpochs
+	return best, true
+}
+
+// adoptParams copies trained parameters from src into every replica of
+// e. The engine keeps replicas synchronized, so device 0's weights are
+// the run's weights; optimizer moments are not carried (the rebuilt
+// optimizer restarts cold, which SGD-family optimizers tolerate — the
+// moments re-estimate within a few steps).
+func adoptParams(e *engine.Engine, devices int, src *nn.Model) {
+	for d := 0; d < devices; d++ {
+		dst := e.Model(d)
+		for li, layer := range dst.Layers {
+			sp := src.Layers[li].Params()
+			for pi, p := range layer.Params() {
+				copy(p.W.Data, sp[pi].W.Data)
+			}
+		}
+	}
+}
+
+// TrainAdaptive runs the full pipeline with online re-planning: plan,
+// train, and at every epoch boundary recalibrate the cost model from
+// the measured stage times and — behind the hysteresis guard — switch
+// strategy, pipeline depth, or cache-tier split for the remaining
+// epochs. The default ReplanConfig is used; TrainAdaptiveContext takes
+// a custom one.
+func (a *APT) TrainAdaptive(epochs int) (*Result, error) {
+	return a.TrainAdaptiveContext(context.Background(), epochs, ReplanConfig{})
+}
+
+// TrainAdaptiveContext is TrainAdaptive under a context and an
+// explicit re-planner configuration.
+func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanConfig) (*Result, error) {
+	if epochs <= 0 {
+		return nil, fmt.Errorf("core: epochs = %d", epochs)
+	}
+	if _, err := a.Plan(); err != nil {
+		return nil, err
+	}
+	cur := Plan{Kind: a.Choice, PipelineDepth: a.task.PipelineDepth, Int8Frac: a.task.Int8CacheFrac}
+	e, err := a.BuildEngine(cur.Kind)
+	if err != nil {
+		return nil, err
+	}
+	devices := a.task.Platform.NumDevices()
+	cm := &CostModel{Profile: a.profile, Devices: devices, IncludeTrain: true}
+	rp := NewReplanner(rcfg, cm, a.dryRun.PerStrategy, a.dryRun.Freq,
+		a.task.CacheBytes, a.task.FeatDim, devices, a.task.Pipeline, cur)
+	res := &Result{
+		Choice:          cur.Kind,
+		Estimates:       a.Estimates,
+		PlanWallSeconds: a.PlanWallSeconds,
+	}
+	var runErr error
+	for i := 0; i < epochs; i++ {
+		st, err := e.RunEpochContext(ctx)
+		engine.RecordEpochMetrics(a.reg, st)
+		if err != nil {
+			runErr = err
+			break
+		}
+		res.Epochs = append(res.Epochs, st)
+		if i == epochs-1 {
+			break
+		}
+		// The measured stage times come back out of the obs registry —
+		// the same apt_engine_* gauges any external observer sees.
+		next, switched := rp.Observe(i, MeasuredStages(a.reg))
+		if !switched {
+			continue
+		}
+		a.reg.Counter("apt_replan_switches_total", "Online re-planner plan switches applied.").Inc()
+		if next.Kind == cur.Kind && next.Int8Frac == cur.Int8Frac {
+			// Depth-only resize: adjust the live engine's prefetch
+			// bound, no rebuild.
+			e.EnablePipeline(next.PipelineDepth)
+			cur = next
+			continue
+		}
+		trained := e.Model(0)
+		a.int8Frac = next.Int8Frac
+		e2, err := a.BuildEngine(next.Kind)
+		if err != nil {
+			runErr = err
+			break
+		}
+		if a.task.Pipeline && next.PipelineDepth > 0 {
+			e2.EnablePipeline(next.PipelineDepth)
+		}
+		adoptParams(e2, devices, trained)
+		e = e2
+		cur = next
+		res.Choice = cur.Kind
+	}
+	res.Replans = rp.Events
+	res.Model = e.Model(0)
+	if err := a.obsO.Flush(a.spans, a.reg); err != nil && runErr == nil {
+		runErr = err
+	}
+	return res, runErr
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/nn"
@@ -63,6 +64,18 @@ type Task struct {
 	// hot remote features (paper footnote 3); 0 disables. Only
 	// meaningful on multi-machine platforms.
 	CPUCacheBytes int64
+	// Int8CacheFrac is the fraction of CacheBytes given to the int8
+	// warm tier (0 disables tiering; must be < 1). The warm tier
+	// extends cache coverage below the fp32 hot band: a row it holds
+	// is served from GPU memory at quantized byte volume and
+	// dequantized inside the consuming kernel, instead of crossing
+	// the host link at full width.
+	Int8CacheFrac float64
+	// ProfileOverride pins the communication-operator profile instead
+	// of measuring it in Prepare. The re-planning ablation uses it to
+	// hand the planner a mis-ranked profile and show the calibrated
+	// re-planner recovering.
+	ProfileOverride *comm.Profile
 	// Partitioner selects the SNP/DNP graph partitioner.
 	Partitioner PartitionerKind
 	// Partition supplies a precomputed partitioning (e.g. from the
@@ -130,6 +143,9 @@ func (t *Task) normalize() error {
 	}
 	if t.Feats != nil && t.Labels == nil {
 		return fmt.Errorf("core: real-mode task needs labels")
+	}
+	if t.Int8CacheFrac < 0 || t.Int8CacheFrac >= 1 {
+		return fmt.Errorf("core: Int8CacheFrac %v outside [0, 1)", t.Int8CacheFrac)
 	}
 	return nil
 }

@@ -92,7 +92,7 @@ func runBitIdentity(t *testing.T, f *testFixture, newModel func() *nn.Model) {
 		return c
 	}(), graph.NewRNG(12))
 	mb := probe.Sample(f.seeds[:16])
-	refSt := ref.Model.ForwardGathered(mb, f.feats, mb.Layer1().Src)
+	refSt := ref.Model.ForwardGathered(mb, tensor.FS(f.feats), mb.Layer1().Src)
 
 	for _, k := range []strategy.Kind{strategy.GDP, strategy.NFP, strategy.SNP, strategy.DNP} {
 		for _, pipelined := range []bool{false, true} {
@@ -116,7 +116,7 @@ func runBitIdentity(t *testing.T, f *testFixture, newModel func() *nn.Model) {
 			// reference model's training-forward logits bit for bit:
 			// PredictGathered runs the same fused kernels in the same
 			// order, just without retaining backward state.
-			logits := e.Model(0).PredictGathered(mb, f.feats, mb.Layer1().Src)
+			logits := e.Model(0).PredictGathered(mb, tensor.FS(f.feats), mb.Layer1().Src)
 			requireLogitsExact(t, tag, logits, refSt.Logits)
 			tensor.Put(logits)
 		}

@@ -161,6 +161,8 @@ type worker struct {
 	unionStamp []int32
 	unionGen   int32
 	unionBuf   []graph.NodeID
+	// labelBuf is the per-step label gather scratch, reused across steps.
+	labelBuf []int32
 }
 
 func (w *worker) real() bool { return w.eng.cfg.Mode == Real }
@@ -239,6 +241,7 @@ func New(cfg Config) (*Engine, error) {
 	// for the whole run (after the runner may have narrowed LoadDim).
 	for d := 0; d < n; d++ {
 		cacheBytes := int64(len(cfg.Store.CachedList(d))) * int64(4*cfg.Store.LoadDim)
+		cacheBytes += int64(len(cfg.Store.QCachedList(d))) * tensor.QuantRowBytes(cfg.Store.LoadDim)
 		e.Group.Devices[d].Alloc(cacheBytes)
 	}
 	for d := 0; d < n; d++ {
@@ -286,12 +289,13 @@ type gatherFallback struct {
 // idx directly (no materialized gather) when the layer supports it,
 // falling back to an explicit gather otherwise. Real mode only.
 func (w *worker) forwardLayer0Gathered(blk *sample.Block, idx []graph.NodeID) (*tensor.Matrix, any) {
-	feats := w.eng.cfg.Store.Feats
+	feats := w.eng.cfg.Store.FeatView(w.dev.ID)
 	if gl, ok := w.layer0().(nn.GatherLayer); ok {
 		out, lct := gl.ForwardGathered(blk, feats, idx)
 		return out, lct
 	}
-	x := tensor.Gather(feats, idx)
+	x := tensor.Get(len(idx), feats.F.Cols)
+	tensor.GatherIntoSrc(x, feats, idx)
 	out, lct := w.layer0().Forward(blk, x)
 	return out, &gatherFallback{x: x, lct: lct}
 }
@@ -407,6 +411,16 @@ func (e *Engine) workerEpoch(ctx context.Context, w *worker, plan *sample.SeedPl
 		w.stats.SampledEdges += edges
 
 		e.computeStep(w, plan, step, seeds, mb)
+		if w.real() && e.cfg.PreSampled == nil {
+			// The engine sampled this batch itself, and the barrier inside
+			// syncGradients means every worker is past its backward pass —
+			// no peer still reads this batch's blocks through a shipped
+			// reference. Recycling the block storage keeps the steady-state
+			// loop off the allocator. Accounting mode has no such barrier
+			// (nothing real is exchanged), and pre-sampled batches belong
+			// to the caller, so both skip it.
+			mb.Recycle()
+		}
 		if record || w.spanDev != nil {
 			cur := snapshotOf(w.dev)
 			st := stepDelta(step, snap, cur)
@@ -458,16 +472,22 @@ func (e *Engine) computeStep(w *worker, plan *sample.SeedPlan, step int, seeds [
 
 	h, ctx := e.runner.forward(w, mb)
 
+	var st *nn.ForwardState
+	var dLogits, dH *tensor.Matrix
 	if w.real() {
-		st := w.model.ForwardPartial(mb, 1, h)
+		st = w.model.ForwardPartial(mb, 1, h)
 		e.chargeUpperLayers(w, mb, false)
-		labels := make([]int32, len(seeds))
+		if cap(w.labelBuf) < len(seeds) {
+			w.labelBuf = make([]int32, len(seeds))
+		}
+		labels := w.labelBuf[:len(seeds)]
 		for i, s := range seeds {
 			labels[i] = e.cfg.Labels[s]
 		}
-		loss, dLogits := nn.SoftmaxCrossEntropy(st.Logits, labels, maxInt(global, 1))
+		var loss float64
+		loss, dLogits = nn.SoftmaxCrossEntropy(st.Logits, labels, maxInt(global, 1))
 		w.stats.LossSum += loss
-		dH := w.model.BackwardPartial(mb, st, 0, dLogits)
+		dH = w.model.BackwardPartial(mb, st, 0, dLogits)
 		e.chargeUpperLayers(w, mb, true)
 		e.runner.backward(w, mb, ctx, dH)
 	} else {
@@ -480,6 +500,19 @@ func (e *Engine) computeStep(w *worker, plan *sample.SeedPlan, step int, seeds [
 	if w.real() {
 		w.opt.Step(w.model.Params())
 		w.model.ZeroGrad()
+		// The barrier inside syncGradients guarantees every worker is
+		// past this step's backward, so no peer still reads any of the
+		// step's tensors through a shipped reference — the whole
+		// forward/backward working set can go back to the pool. Without
+		// this the activations are the loop's steadiest garbage, and the
+		// GC they force keeps flushing the very pools the kernels rely
+		// on for allocation-free steady state.
+		w.model.ReleaseActivations(st, 1)
+		tensor.Put(h)
+		if dH != dLogits {
+			tensor.Put(dH)
+		}
+		tensor.Put(dLogits)
 	}
 }
 

@@ -166,7 +166,7 @@ func (w *InferWorker) Infer(seeds []graph.NodeID) (*tensor.Matrix, cache.LoadSta
 		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.DenseTime(dense))
 		w.dev.Charge(device.StageTrain, w.inf.cfg.Platform.SparseTime(sparse))
 	}
-	logits := w.inf.cfg.Model.PredictGathered(mb, w.inf.cfg.Store.Feats, mb.Layer1().Src)
+	logits := w.inf.cfg.Model.PredictGathered(mb, w.inf.cfg.Store.FeatView(w.dev.ID), mb.Layer1().Src)
 	emit(device.StageTrain, 0)
 	return logits, st
 }

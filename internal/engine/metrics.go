@@ -171,15 +171,19 @@ func RecordEpochMetrics(r *obs.Registry, st EpochStats) {
 	r.Counter("apt_engine_hidden_shuffle_bytes_total", "Hidden-embedding shipping volume (T_shuffle).").Add(st.Totals.HiddenShuffleBytes())
 	r.Counter("apt_engine_collective_calls_total", "Collective operations issued.").Add(
 		st.Totals.BuildA2ACalls + st.Totals.BuildBcastCalls + st.Totals.ShufA2ACalls + st.Totals.ShufBcastCalls)
-	var reads, gpuReads int64
+	var reads, gpuReads, gpuQReads int64
 	for loc, n := range st.Totals.Load.Nodes {
 		reads += n
-		if cache.Location(loc) == cache.LocGPU {
+		switch cache.Location(loc) {
+		case cache.LocGPU:
 			gpuReads = n
+		case cache.LocGPUQ:
+			gpuQReads = n
 		}
 	}
 	r.Counter("apt_engine_feature_reads_total", "Feature rows read.").Add(reads)
-	r.Counter("apt_engine_feature_cache_hits_total", "Feature rows served by the local GPU cache.").Add(gpuReads)
+	r.Counter("apt_engine_feature_cache_hits_total", "Feature rows served by the local GPU cache (either tier).").Add(gpuReads + gpuQReads)
+	r.Counter("apt_engine_feature_cache_hits_int8_total", "Feature rows served by the int8 warm tier.").Add(gpuQReads)
 
 	r.Gauge("apt_engine_epoch_seconds", "Last epoch's simulated time (synchronous stages).").Set(st.EpochTime())
 	r.Gauge("apt_engine_sample_seconds", "Last epoch's graph-sampling time.").Set(st.SampleSec)

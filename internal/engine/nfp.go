@@ -114,7 +114,7 @@ func (r *nfpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 		srcLists[j] = blocks[j].Src
 	}
 	w.chargeUnionLoad(srcLists)
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	partials := make([]payload, n)
 	for j := 0; j < n; j++ {
 		bj := blocks[j]
@@ -125,7 +125,7 @@ func (r *nfpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 		// large hidden dimensions (paper Fig. 10).
 		ctx.alloc += wireFloats(bj.NumDst(), dPrime)
 		if w.real() {
-			z := tensor.GatherMatMulSlice(feats, bj.Src, lo, hi, shardOf(layer.W.W, lo, hi))
+			z := tensor.GatherMatMulSliceSrc(feats, bj.Src, lo, hi, shardOf(layer.W.W, lo, hi))
 			partials[j] = payload{Mat: tensor.SegmentSum(bj.EdgePtr, bj.SrcIdx, z)}
 			tensor.Put(z)
 		} else {
@@ -174,14 +174,14 @@ func (r *nfpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *nfpSageCt
 	in := w.allGather(device.StageShuffle, payload{Mat: dS, Bytes: boolToBytes(dS == nil, wire)})
 
 	gShard := shardOf(layer.W.G, lo, hi)
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	for j := 0; j < n; j++ {
 		bj := ctx.blocks[j]
 		w.chargeDense(2 * float64(bj.NumSrc()) * float64(hi-lo) * float64(dPrime))
 		w.chargeSparse(2 * float64(bj.NumEdges()) * float64(dPrime))
 		if w.real() {
 			dZ := tensor.SegmentSumBackward(bj.EdgePtr, bj.SrcIdx, in[j].Mat, bj.NumSrc())
-			tensor.GatherTMatMulAccSlice(gShard, feats, bj.Src, lo, hi, dZ)
+			tensor.GatherTMatMulAccSliceSrc(gShard, feats, bj.Src, lo, hi, dZ)
 			tensor.Put(dZ)
 		}
 	}
@@ -208,7 +208,7 @@ func (r *nfpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 		srcLists[j] = blocks[j].Src
 	}
 	w.chargeUnionLoad(srcLists)
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	partials := make([]payload, n)
 	for j := 0; j < n; j++ {
 		bj := blocks[j]
@@ -217,7 +217,7 @@ func (r *nfpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 		if w.real() {
 			z := tensor.New(bj.NumSrc(), width)
 			for k := 0; k < heads; k++ {
-				zk := tensor.GatherMatMulSlice(feats, bj.Src, lo, hi, shardOf(layer.Ws[k].W, lo, hi))
+				zk := tensor.GatherMatMulSliceSrc(feats, bj.Src, lo, hi, shardOf(layer.Ws[k].W, lo, hi))
 				for i := 0; i < zk.Rows; i++ {
 					copy(z.Row(i)[k*dh:(k+1)*dh], zk.Row(i))
 				}
@@ -279,7 +279,7 @@ func (r *nfpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *nfpGatCtx,
 	w.stats.HiddenBcastBytes += wire * int64(n-1)
 	in := w.allGather(device.StageShuffle, payload{Mat: dZ, Bytes: boolToBytes(dZ == nil, wire)})
 
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	for j := 0; j < n; j++ {
 		bj := ctx.blocks[j]
 		w.chargeDense(4 * float64(bj.NumSrc()) * float64(hi-lo) * float64(width))
@@ -291,7 +291,7 @@ func (r *nfpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *nfpGatCtx,
 					copy(dZk.Row(i), mat.Row(i)[k*dh:(k+1)*dh])
 				}
 				gk := shardOf(layer.Ws[k].G, lo, hi)
-				tensor.GatherTMatMulAccSlice(gk, feats, bj.Src, lo, hi, dZk)
+				tensor.GatherTMatMulAccSliceSrc(gk, feats, bj.Src, lo, hi, dZk)
 			}
 			tensor.Put(dZk)
 		}

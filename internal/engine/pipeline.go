@@ -120,6 +120,13 @@ func (e *Engine) workerEpochPipelined(ctx context.Context, w *worker, plan *samp
 		}
 		w.stats.SampledEdges += f.edges
 		e.computeStep(w, plan, f.step, f.seeds, f.mb)
+		if w.real() && e.cfg.PreSampled == nil {
+			// Sampled by our own prefetcher and fully consumed; safe for
+			// the same reason as workerEpoch (the syncGradients barrier).
+			// Batches dropped by the cancellation drain are simply not
+			// recycled.
+			f.mb.Recycle()
+		}
 
 		cur := nonSampleElapsed(w.dev)
 		computeSec := cur - prevCompute

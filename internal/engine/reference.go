@@ -67,7 +67,7 @@ func (r *Reference) TrainEpoch(seeds []graph.NodeID, batchSize int) float64 {
 // returns the batch loss.
 func (r *Reference) TrainStep(batch []graph.NodeID) float64 {
 	mb := r.sampler.Sample(batch)
-	st := r.Model.ForwardGathered(mb, r.Feats, mb.Layer1().Src)
+	st := r.Model.ForwardGathered(mb, tensor.FS(r.Feats), mb.Layer1().Src)
 	labels := make([]int32, len(batch))
 	for i, s := range batch {
 		labels[i] = r.Labels[s]
@@ -95,7 +95,7 @@ func Evaluate(g *graph.Graph, m *nn.Model, feats *tensor.Matrix, labels []int32,
 		}
 		batch := seeds[lo:hi]
 		mb := sampler.Sample(batch)
-		st := m.ForwardGathered(mb, feats, mb.Layer1().Src)
+		st := m.ForwardGathered(mb, tensor.FS(feats), mb.Layer1().Src)
 		lb := make([]int32, len(batch))
 		for i, s := range batch {
 			lb[i] = labels[s]

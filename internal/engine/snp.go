@@ -171,7 +171,7 @@ func (r *snpRunner) forwardSage(w *worker, mb *sample.MiniBatch, layer *nn.SAGEL
 		srcLists[rq] = mblk.Src
 	}
 	w.chargeUnionLoad(srcLists)
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	replies := make([]payload, n)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
@@ -254,7 +254,7 @@ func (r *snpRunner) backwardSage(w *worker, mb *sample.MiniBatch, ctx *snpSageCt
 	}
 	in := w.allToAll(device.StageShuffle, payloads)
 
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
 		if served == nil {
@@ -317,7 +317,7 @@ func (r *snpRunner) forwardGat(w *worker, mb *sample.MiniBatch, layer *nn.GATLay
 		srcLists[rq] = q.SrcIDs
 	}
 	w.chargeUnionLoad(srcLists)
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	replies := make([]payload, n)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
@@ -410,7 +410,7 @@ func (r *snpRunner) backwardGat(w *worker, mb *sample.MiniBatch, ctx *snpGatCtx,
 	}
 	in := w.allToAll(device.StageShuffle, payloads)
 
-	feats := e.cfg.Store.Feats
+	feats := e.cfg.Store.FeatView(w.dev.ID)
 	for rq := 0; rq < n; rq++ {
 		served := ctx.served[rq]
 		if served == nil {

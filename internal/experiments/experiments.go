@@ -133,6 +133,7 @@ type taskConfig struct {
 	heads     int
 	platform  *hardware.Platform // nil = single machine with opts.Devices
 	cacheFrac float64            // 0 = opts default
+	int8Frac  float64            // warm-tier share of the cache budget
 	partKind  core.PartitionerKind
 }
 
@@ -176,17 +177,18 @@ func (e *env) task(tc taskConfig) core.Task {
 		newModel = func() *nn.Model { return nn.NewGraphSAGE(fd, hidden, classes, layers) }
 	}
 	return core.Task{
-		Graph:       d.Graph,
-		FeatDim:     featDim,
-		Seeds:       d.TrainSeeds,
-		NewModel:    newModel,
-		Sampling:    sample.Config{Fanouts: fanouts},
-		BatchSize:   e.opts.BatchSize,
-		Platform:    p,
-		CacheBytes:  p.DefaultCacheBytes,
-		Partition:   e.Partition(tc.abbr, p.NumDevices(), tc.partKind),
-		Partitioner: tc.partKind,
-		Seed:        7,
+		Graph:         d.Graph,
+		FeatDim:       featDim,
+		Seeds:         d.TrainSeeds,
+		NewModel:      newModel,
+		Sampling:      sample.Config{Fanouts: fanouts},
+		BatchSize:     e.opts.BatchSize,
+		Platform:      p,
+		CacheBytes:    p.DefaultCacheBytes,
+		Int8CacheFrac: tc.int8Frac,
+		Partition:     e.Partition(tc.abbr, p.NumDevices(), tc.partKind),
+		Partitioner:   tc.partKind,
+		Seed:          7,
 	}
 }
 

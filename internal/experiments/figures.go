@@ -155,6 +155,8 @@ func (e *Env) Figure11() (string, error) {
 			ratio := rd.Stats[k].EpochTime() / ml.Stats[k].EpochTime()
 			fmt.Fprintf(&b, "  %s %v slowdown under random partitioning: %.2fx\n", abbr, k, ratio)
 		}
+		fmt.Fprintf(&b, "  %s per-tier reads (multilevel, %v): %s\n",
+			abbr, ml.Choice, tierReadShares(ml.Stats[ml.Choice]))
 	}
 	return b.String(), nil
 }

@@ -78,8 +78,9 @@ type gatHeadCtx struct {
 }
 
 type gatCtx struct {
-	h    *tensor.Matrix
-	idx  []int32 // non-nil: input row r is h[idx[r]] (gather-fused)
+	h    *tensor.Matrix    // layer input on the plain path
+	src  tensor.FeatSource // the feature store view when idx is set
+	idx  []int32           // non-nil: input row r is src row idx[r] (gather-fused)
 	attn *GATAttnCtx
 }
 
@@ -91,9 +92,10 @@ func (l *GATLayer) ProjectHead(k int, h *tensor.Matrix) *tensor.Matrix {
 }
 
 // ProjectHeadGathered computes Z = feats[idx] @ W_k without
-// materializing the gathered rows.
-func (l *GATLayer) ProjectHeadGathered(k int, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
-	return tensor.GatherMatMul(feats, idx, l.Ws[k].W)
+// materializing the gathered rows, dequantizing warm-tier rows on the
+// fly.
+func (l *GATLayer) ProjectHeadGathered(k int, feats tensor.FeatSource, idx []int32) *tensor.Matrix {
+	return tensor.GatherMatMulSrc(feats, idx, l.Ws[k].W)
 }
 
 // ProjectHeadBackward accumulates dW_k += hᵀ dZ and returns dH = dZ W_kᵀ.
@@ -104,8 +106,8 @@ func (l *GATLayer) ProjectHeadBackward(k int, h, dZ *tensor.Matrix) *tensor.Matr
 
 // AccumulateHeadProjGrad accumulates dW_k += feats[idx]ᵀ @ dZ straight
 // from the feature store, with no input gradient.
-func (l *GATLayer) AccumulateHeadProjGrad(k int, feats *tensor.Matrix, idx []int32, dZ *tensor.Matrix) {
-	tensor.GatherTMatMulAcc(l.Ws[k].G, feats, idx, dZ)
+func (l *GATLayer) AccumulateHeadProjGrad(k int, feats tensor.FeatSource, idx []int32, dZ *tensor.Matrix) {
+	tensor.GatherTMatMulAccSrc(l.Ws[k].G, feats, idx, dZ)
 }
 
 // headAttention runs one head's attention given the already-projected
@@ -209,7 +211,7 @@ func (l *GATLayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix,
 
 // ForwardGathered implements GatherLayer: per-head projections read the
 // feature store through idx, no gathered copy.
-func (l *GATLayer) ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) (*tensor.Matrix, LayerCtx) {
+func (l *GATLayer) ForwardGathered(blk *sample.Block, feats tensor.FeatSource, idx []int32) (*tensor.Matrix, LayerCtx) {
 	if len(idx) != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: GAT forward got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
@@ -221,7 +223,7 @@ func (l *GATLayer) ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx 
 		zs[k] = l.ProjectHeadGathered(k, feats, idx)
 	}
 	out, attn := l.AttentionForward(blk, zs)
-	return out, &gatCtx{h: feats, idx: idx, attn: attn}
+	return out, &gatCtx{src: feats, idx: idx, attn: attn}
 }
 
 // Backward implements Layer.
@@ -237,7 +239,7 @@ func (l *GATLayer) Backward(blk *sample.Block, ctxI LayerCtx, dOut *tensor.Matri
 	for k := 0; k < l.Heads; k++ {
 		var dH *tensor.Matrix
 		if ctx.idx != nil {
-			l.AccumulateHeadProjGrad(k, ctx.h, ctx.idx, dZs[k])
+			l.AccumulateHeadProjGrad(k, ctx.src, ctx.idx, dZs[k])
 			dH = tensor.MatMulT(dZs[k], l.Ws[k].W)
 		} else {
 			dH = l.ProjectHeadBackward(k, ctx.h, dZs[k])
@@ -259,7 +261,7 @@ func (l *GATLayer) BackwardParams(blk *sample.Block, ctxI LayerCtx, dOut *tensor
 	dZs := l.AttentionBackward(blk, ctx.attn, dOut)
 	for k := 0; k < l.Heads; k++ {
 		if ctx.idx != nil {
-			l.AccumulateHeadProjGrad(k, ctx.h, ctx.idx, dZs[k])
+			l.AccumulateHeadProjGrad(k, ctx.src, ctx.idx, dZs[k])
 		} else {
 			tensor.TMatMulAcc(l.Ws[k].G, ctx.h, dZs[k])
 		}

@@ -28,10 +28,10 @@ type InferenceLayer interface {
 
 // inferFused is the shared SAGE inference body over a plain or
 // gather-fused input.
-func (l *SAGELayer) inferFused(blk *sample.Block, h *tensor.Matrix, idx []int32) *tensor.Matrix {
+func (l *SAGELayer) inferFused(blk *sample.Block, h *tensor.Matrix, src tensor.FeatSource, idx []int32) *tensor.Matrix {
 	var z *tensor.Matrix
 	if idx != nil {
-		z = l.ProjectGathered(h, idx)
+		z = l.ProjectGathered(src, idx)
 	} else {
 		z = l.Project(h)
 	}
@@ -46,30 +46,30 @@ func (l *SAGELayer) Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix {
 	if h.Rows != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: SAGE infer got %d src rows, block has %d", h.Rows, blk.NumSrc()))
 	}
-	return l.inferFused(blk, h, nil)
+	return l.inferFused(blk, h, tensor.FeatSource{}, nil)
 }
 
 // InferGathered implements GatherLayer.
-func (l *SAGELayer) InferGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+func (l *SAGELayer) InferGathered(blk *sample.Block, feats tensor.FeatSource, idx []int32) *tensor.Matrix {
 	if len(idx) != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: SAGE infer got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
 	if idx == nil {
 		idx = []int32{} // empty block: stay on the gather-fused path
 	}
-	return l.inferFused(blk, feats, idx)
+	return l.inferFused(blk, nil, feats, idx)
 }
 
 // inferFused is the shared GAT inference body over a plain or
 // gather-fused input.
-func (l *GATLayer) inferFused(blk *sample.Block, h *tensor.Matrix, idx []int32) *tensor.Matrix {
+func (l *GATLayer) inferFused(blk *sample.Block, h *tensor.Matrix, src tensor.FeatSource, idx []int32) *tensor.Matrix {
 	nDst := blk.NumDst()
 	dh := l.OutPerHead()
 	concat := tensor.Get(nDst, l.OutDim())
 	for k := 0; k < l.Heads; k++ {
 		var z *tensor.Matrix
 		if idx != nil {
-			z = l.ProjectHeadGathered(k, h, idx)
+			z = l.ProjectHeadGathered(k, src, idx)
 		} else {
 			z = l.ProjectHead(k, h)
 		}
@@ -93,18 +93,18 @@ func (l *GATLayer) Infer(blk *sample.Block, h *tensor.Matrix) *tensor.Matrix {
 	if h.Rows != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: GAT infer got %d src rows, block has %d", h.Rows, blk.NumSrc()))
 	}
-	return l.inferFused(blk, h, nil)
+	return l.inferFused(blk, h, tensor.FeatSource{}, nil)
 }
 
 // InferGathered implements GatherLayer.
-func (l *GATLayer) InferGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+func (l *GATLayer) InferGathered(blk *sample.Block, feats tensor.FeatSource, idx []int32) *tensor.Matrix {
 	if len(idx) != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: GAT infer got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
 	if idx == nil {
 		idx = []int32{} // empty block: stay on the gather-fused path
 	}
-	return l.inferFused(blk, feats, idx)
+	return l.inferFused(blk, nil, feats, idx)
 }
 
 // Predict runs the inference-only forward pass on mini-batch mb with
@@ -141,7 +141,7 @@ func (m *Model) Predict(mb *sample.MiniBatch, x *tensor.Matrix) *tensor.Matrix {
 // materialized x, and is bit-identical to
 // Predict(mb, Gather(feats, idx)). Ownership mirrors Predict: feats
 // stays with the caller, the logits transfer to it.
-func (m *Model) PredictGathered(mb *sample.MiniBatch, feats *tensor.Matrix, idx []int32) *tensor.Matrix {
+func (m *Model) PredictGathered(mb *sample.MiniBatch, feats tensor.FeatSource, idx []int32) *tensor.Matrix {
 	if len(mb.Blocks) != len(m.Layers) {
 		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
 	}
@@ -149,7 +149,8 @@ func (m *Model) PredictGathered(mb *sample.MiniBatch, feats *tensor.Matrix, idx 
 	if gl, ok := m.Layers[0].(GatherLayer); ok {
 		h = gl.InferGathered(mb.Blocks[0], feats, idx)
 	} else {
-		x := tensor.Gather(feats, idx)
+		x := tensor.Get(len(idx), feats.F.Cols)
+		tensor.GatherIntoSrc(x, feats, idx)
 		if il, ok := m.Layers[0].(InferenceLayer); ok {
 			h = il.Infer(mb.Blocks[0], x)
 		} else {

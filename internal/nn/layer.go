@@ -37,16 +37,18 @@ type LayerCtx interface{}
 type GatherLayer interface {
 	Layer
 	// ForwardGathered is Forward with h replaced by (feats, idx):
-	// logical input row r is feats[idx[r]]. idx must have
-	// blk.NumSrc() entries.
-	ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) (*tensor.Matrix, LayerCtx)
+	// logical input row r is feats row idx[r], served fp32 or — when
+	// the store's warm tier holds it — dequantized from int8. idx must
+	// have blk.NumSrc() entries. A FeatSource with no quantized tier
+	// makes this bit-identical to Forward on the gathered copy.
+	ForwardGathered(blk *sample.Block, feats tensor.FeatSource, idx []int32) (*tensor.Matrix, LayerCtx)
 	// BackwardParams is Backward minus the dIn computation: it only
 	// accumulates parameter gradients. Legal exactly when the input
 	// gradient would be discarded.
 	BackwardParams(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matrix)
 	// InferGathered is the InferenceLayer forward with gather-fused
 	// input: no LayerCtx retained, result owned by the caller.
-	InferGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) *tensor.Matrix
+	InferGathered(blk *sample.Block, feats tensor.FeatSource, idx []int32) *tensor.Matrix
 }
 
 // Activation selects the nonlinearity applied to a layer's output.

@@ -112,12 +112,29 @@ func (m *Model) Backward(mb *sample.MiniBatch, st *ForwardState, dLogits *tensor
 	}
 }
 
+// ReleaseActivations recycles every activation a forward state owns
+// above fromLayer: the outputs of layers fromLayer..end, i.e.
+// Inputs[fromLayer+1..] plus Logits. Inputs[fromLayer] itself (the
+// caller-provided input) is left alone. The state and its layer
+// contexts must not be used afterwards — call only after the backward
+// pass is fully done with them.
+func (m *Model) ReleaseActivations(st *ForwardState, fromLayer int) {
+	for l := fromLayer + 1; l < len(m.Layers); l++ {
+		tensor.Put(st.Inputs[l])
+		st.Inputs[l] = nil
+	}
+	if fromLayer < len(m.Layers) {
+		tensor.Put(st.Logits)
+	}
+	st.Logits = nil
+}
+
 // ForwardGathered is Forward with the input gather fused into layer 0:
 // instead of materializing x = Gather(feats, idx), layer 0 reads the
 // feature rows through idx directly. Falls back to an explicit gather
 // for layers without gather-fused kernels (Inputs[0] then holds the
 // copy).
-func (m *Model) ForwardGathered(mb *sample.MiniBatch, feats *tensor.Matrix, idx []int32) *ForwardState {
+func (m *Model) ForwardGathered(mb *sample.MiniBatch, feats tensor.FeatSource, idx []int32) *ForwardState {
 	if len(mb.Blocks) != len(m.Layers) {
 		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
 	}
@@ -129,7 +146,8 @@ func (m *Model) ForwardGathered(mb *sample.MiniBatch, feats *tensor.Matrix, idx 
 	if gl, ok := m.Layers[0].(GatherLayer); ok {
 		h, st.Ctxs[0] = gl.ForwardGathered(mb.Blocks[0], feats, idx)
 	} else {
-		x := tensor.Gather(feats, idx)
+		x := tensor.Get(len(idx), feats.F.Cols)
+		tensor.GatherIntoSrc(x, feats, idx)
 		st.Inputs[0] = x
 		h, st.Ctxs[0] = m.Layers[0].Forward(mb.Blocks[0], x)
 	}

@@ -65,9 +65,10 @@ func (l *SAGELayer) Params() []*Param { return []*Param{l.W} }
 func (l *SAGELayer) NeedsDstInSrc() bool { return false }
 
 type sageCtx struct {
-	h   *tensor.Matrix // layer input (sources); the feature store when idx is set
-	idx []int32        // non-nil: input row r is h[idx[r]] (gather-fused)
-	out *tensor.Matrix // post-activation output
+	h   *tensor.Matrix    // layer input (sources) on the plain path
+	src tensor.FeatSource // the feature store view when idx is set
+	idx []int32           // non-nil: input row r is src row idx[r] (gather-fused)
+	out *tensor.Matrix    // post-activation output
 }
 
 // Project computes Z = h @ W, the dense half of the layer. Exposed for
@@ -78,9 +79,10 @@ func (l *SAGELayer) Project(h *tensor.Matrix) *tensor.Matrix {
 
 // ProjectGathered computes Z = feats[idx] @ W without materializing the
 // gathered rows — the projection reads the feature store through the
-// index vector (SNP serves requests this way).
-func (l *SAGELayer) ProjectGathered(feats *tensor.Matrix, idx []int32) *tensor.Matrix {
-	return tensor.GatherMatMul(feats, idx, l.W.W)
+// index vector (SNP serves requests this way), dequantizing warm-tier
+// rows on the fly.
+func (l *SAGELayer) ProjectGathered(feats tensor.FeatSource, idx []int32) *tensor.Matrix {
+	return tensor.GatherMatMulSrc(feats, idx, l.W.W)
 }
 
 // ProjectBackward accumulates dW += hᵀ dZ and returns dH = dZ Wᵀ.
@@ -92,23 +94,23 @@ func (l *SAGELayer) ProjectBackward(h, dZ *tensor.Matrix) *tensor.Matrix {
 // AccumulateProjGrad accumulates dW += feats[idx]ᵀ @ dZ straight from
 // the feature store, with no input gradient (raw features are not
 // trained) and no gathered copy.
-func (l *SAGELayer) AccumulateProjGrad(feats *tensor.Matrix, idx []int32, dZ *tensor.Matrix) {
-	tensor.GatherTMatMulAcc(l.W.G, feats, idx, dZ)
+func (l *SAGELayer) AccumulateProjGrad(feats tensor.FeatSource, idx []int32, dZ *tensor.Matrix) {
+	tensor.GatherTMatMulAccSrc(l.W.G, feats, idx, dZ)
 }
 
 // forward is the shared fused forward: projection (plain or gathered),
 // then segment aggregation with the mean normalization and activation
 // fused into the same pass over each output row.
-func (l *SAGELayer) forward(blk *sample.Block, h *tensor.Matrix, idx []int32) (*tensor.Matrix, *sageCtx) {
+func (l *SAGELayer) forward(blk *sample.Block, h *tensor.Matrix, src tensor.FeatSource, idx []int32) (*tensor.Matrix, *sageCtx) {
 	var z *tensor.Matrix
 	if idx != nil {
-		z = l.ProjectGathered(h, idx)
+		z = l.ProjectGathered(src, idx)
 	} else {
 		z = l.Project(h)
 	}
 	s := tensor.SegmentAggFused(blk.EdgePtr, blk.SrcIdx, z, l.Agg == AggMean, l.Act == ActReLU)
 	tensor.Put(z)
-	return s, &sageCtx{h: h, idx: idx, out: s}
+	return s, &sageCtx{h: h, src: src, idx: idx, out: s}
 }
 
 // Forward implements Layer.
@@ -116,19 +118,19 @@ func (l *SAGELayer) Forward(blk *sample.Block, h *tensor.Matrix) (*tensor.Matrix
 	if h.Rows != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: SAGE forward got %d src rows, block has %d", h.Rows, blk.NumSrc()))
 	}
-	out, c := l.forward(blk, h, nil)
+	out, c := l.forward(blk, h, tensor.FeatSource{}, nil)
 	return out, c
 }
 
 // ForwardGathered implements GatherLayer.
-func (l *SAGELayer) ForwardGathered(blk *sample.Block, feats *tensor.Matrix, idx []int32) (*tensor.Matrix, LayerCtx) {
+func (l *SAGELayer) ForwardGathered(blk *sample.Block, feats tensor.FeatSource, idx []int32) (*tensor.Matrix, LayerCtx) {
 	if len(idx) != blk.NumSrc() {
 		panic(fmt.Sprintf("nn: SAGE forward got %d src indices, block has %d", len(idx), blk.NumSrc()))
 	}
 	if idx == nil {
 		idx = []int32{} // empty block: stay on the gather-fused path
 	}
-	out, c := l.forward(blk, feats, idx)
+	out, c := l.forward(blk, nil, feats, idx)
 	return out, c
 }
 
@@ -145,7 +147,7 @@ func (l *SAGELayer) Backward(blk *sample.Block, ctx LayerCtx, dOut *tensor.Matri
 	dZ := l.backwardToProjection(blk, c, dOut)
 	var dH *tensor.Matrix
 	if c.idx != nil {
-		l.AccumulateProjGrad(c.h, c.idx, dZ)
+		l.AccumulateProjGrad(c.src, c.idx, dZ)
 		dH = tensor.MatMulT(dZ, l.W.W)
 	} else {
 		dH = l.ProjectBackward(c.h, dZ)
@@ -161,7 +163,7 @@ func (l *SAGELayer) BackwardParams(blk *sample.Block, ctx LayerCtx, dOut *tensor
 	c := ctx.(*sageCtx)
 	dZ := l.backwardToProjection(blk, c, dOut)
 	if c.idx != nil {
-		l.AccumulateProjGrad(c.h, c.idx, dZ)
+		l.AccumulateProjGrad(c.src, c.idx, dZ)
 	} else {
 		tensor.TMatMulAcc(l.W.G, c.h, dZ)
 	}

@@ -1,0 +1,80 @@
+package sample
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Block-storage recycling. Every training step samples a fresh
+// mini-batch and discards it after compute, so the slices behind the
+// blocks (Src, SrcIdx, EdgePtr) are the engine's steadiest source of
+// garbage — and that garbage is what keeps the collector running,
+// which in turn flushes the tensor pool and re-introduces allocation
+// on the kernel hot path. Size-classed pools break the cycle: the
+// engine returns each consumed mini-batch via Recycle and the sampler
+// draws block storage from the pools instead of the heap.
+
+// maxSliceClass bounds pooled slices at 2^maxSliceClass elements;
+// larger requests bypass the pool.
+const maxSliceClass = 24
+
+// slicePool recycles []T by capacity class: class c serves any
+// request of up to 1<<c elements.
+type slicePool[T any] struct {
+	pools [maxSliceClass + 1]sync.Pool
+}
+
+func sliceClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a zero-length slice with capacity >= n. Contents beyond
+// the length are stale — callers must write before reading.
+func (p *slicePool[T]) get(n int) []T {
+	if n > 1<<maxSliceClass {
+		return make([]T, 0, n)
+	}
+	c := sliceClass(n)
+	if v := p.pools[c].Get(); v != nil {
+		return (*v.(*[]T))[:0]
+	}
+	return make([]T, 0, 1<<c)
+}
+
+// put recycles s, filing it under the largest class its capacity
+// fully covers. The caller must not touch s again.
+func (p *slicePool[T]) put(s []T) {
+	cp := cap(s)
+	if cp == 0 || cp > 1<<maxSliceClass {
+		return
+	}
+	c := bits.Len(uint(cp)) - 1
+	s = s[:0]
+	p.pools[c].Put(&s)
+}
+
+var (
+	nodeSlices  slicePool[graph.NodeID]
+	int32Slices slicePool[int32]
+	int64Slices slicePool[int64]
+)
+
+// Recycle returns the mini-batch's block storage to the sampler
+// pools. The caller must be the unique owner and must not touch the
+// mini-batch afterwards. Seeds and each block's Dst alias external
+// storage (the seed plan, or the neighboring block's Src) and are
+// left alone; every block's Src/SrcIdx/EdgePtr is owned by exactly
+// that block and is recycled here.
+func (m *MiniBatch) Recycle() {
+	for _, b := range m.Blocks {
+		nodeSlices.put(b.Src)
+		int32Slices.put(b.SrcIdx)
+		int64Slices.put(b.EdgePtr)
+		b.Dst, b.Src, b.SrcIdx, b.EdgePtr = nil, nil, nil, nil
+	}
+}

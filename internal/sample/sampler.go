@@ -121,17 +121,29 @@ func (s *Sampler) Sample(seeds []graph.NodeID) *MiniBatch {
 	return &MiniBatch{Seeds: seeds, Blocks: blocks}
 }
 
+// newEdgePtr returns a pooled CSR pointer array for n destinations
+// with the leading 0 in place; entries 1..n are written by the caller
+// (both sampling paths assign every one).
+func newEdgePtr(n int) []int64 {
+	ep := int64Slices.get(n + 1)[:n+1]
+	ep[0] = 0
+	return ep
+}
+
 // sampleLayerWise draws up to `budget` nodes from the union of the
 // destinations' neighborhoods, with probability proportional to each
 // candidate's multiplicity in that union (a degree-weighted FastGCN
 // scheme), then connects every destination to its sampled neighbors.
 func (s *Sampler) sampleLayerWise(dst []graph.NodeID, budget int) *Block {
-	b := &Block{Dst: dst, EdgePtr: make([]int64, len(dst)+1)}
+	b := &Block{Dst: dst, EdgePtr: newEdgePtr(len(dst))}
 	// Candidate pool with multiplicity = how many destinations list u.
-	pool := make([]graph.NodeID, 0, budget*2)
+	pool := nodeSlices.get(budget * 2)
+	defer nodeSlices.put(pool)
 	for _, v := range dst {
 		pool = append(pool, s.g.Neighbors(v)...)
 	}
+	b.Src = nodeSlices.get(budget)
+	b.SrcIdx = int32Slices.get(budget)
 	gen := s.nextSrcGen()
 	addSrc := func(u graph.NodeID) int32 {
 		if s.srcStamp[u] == gen {
@@ -186,7 +198,7 @@ func (s *Sampler) sampleLayerWise(dst []graph.NodeID, budget int) *Block {
 func (s *Sampler) sampleLayer(dst []graph.NodeID, fanout int) *Block {
 	b := &Block{
 		Dst:     dst,
-		EdgePtr: make([]int64, len(dst)+1),
+		EdgePtr: newEdgePtr(len(dst)),
 	}
 	// Edge capacity is exactly bounded: min(fanout, degree) per
 	// destination. Under Full fanout is huge, so bound by degree sums
@@ -199,7 +211,8 @@ func (s *Sampler) sampleLayer(dst []graph.NodeID, fanout int) *Block {
 		}
 		capHint += d
 	}
-	b.SrcIdx = make([]int32, 0, capHint)
+	b.SrcIdx = int32Slices.get(capHint)
+	b.Src = nodeSlices.get(capHint)
 	// Position map: src node -> index in b.Src, held in the stamped
 	// scratch arrays (O(1) reset between layers, no per-layer map).
 	gen := s.nextSrcGen()

@@ -75,6 +75,12 @@ type Config struct {
 	// CacheBytes is the per-device feature-cache budget (0 disables
 	// caching).
 	CacheBytes int64
+	// Int8CacheFrac gives that fraction of CacheBytes to an int8 warm
+	// tier below the fp32 band (0 disables; must be < 1). Warm-tier
+	// rows are served from device memory and dequantized inside the
+	// gather kernels, trading bounded quantization error for roughly
+	// 4x the cached coverage per byte.
+	Int8CacheFrac float64
 	// CachePolicy selects the cache rule (default cache.PolicyDegree,
 	// which needs no access trace). Hotness policies require Freq.
 	CachePolicy cache.Policy
@@ -115,6 +121,9 @@ func (c *Config) normalize() error {
 	if c.CachePolicy != cache.PolicyDegree && c.Freq == nil {
 		// Hotness policies are meaningless without an access trace.
 		c.CachePolicy = cache.PolicyDegree
+	}
+	if c.Int8CacheFrac < 0 || c.Int8CacheFrac >= 1 {
+		return fmt.Errorf("serve: Int8CacheFrac %v outside [0, 1)", c.Int8CacheFrac)
 	}
 	return nil
 }
@@ -170,16 +179,29 @@ func New(cfg Config, opts ...obs.Option) (*Server, error) {
 	store := cache.NewStore(cfg.Platform, n, dim, cfg.Feats)
 	store.HostByRange()
 	if cfg.CacheBytes > 0 {
-		capNodes := int(cfg.CacheBytes / int64(4*dim))
-		lists := cache.Select(cache.SelectConfig{
+		hotBudget := cfg.CacheBytes
+		warmNodes := 0
+		if cfg.Int8CacheFrac > 0 {
+			warmBudget := int64(float64(cfg.CacheBytes) * cfg.Int8CacheFrac)
+			hotBudget = cfg.CacheBytes - warmBudget
+			warmNodes = int(warmBudget / tensor.QuantRowBytes(dim))
+		}
+		selCfg := cache.SelectConfig{
 			Policy:        cfg.CachePolicy,
 			Freq:          cfg.Freq,
 			Graph:         cfg.Graph,
-			CapacityNodes: capNodes,
+			CapacityNodes: int(hotBudget / int64(4*dim)),
 			Devices:       cfg.Platform.NumDevices(),
-		})
-		for d, l := range lists {
-			store.ConfigureCache(d, l)
+		}
+		if warmNodes > 0 {
+			hot, warm := cache.SelectTiered(selCfg, warmNodes)
+			for d := range hot {
+				store.ConfigureCacheTiered(d, hot[d], warm[d])
+			}
+		} else {
+			for d, l := range cache.Select(selCfg) {
+				store.ConfigureCache(d, l)
+			}
 		}
 	}
 	inf, err := engine.NewInferencer(engine.InferConfig{

@@ -23,7 +23,7 @@ type Stats struct {
 	batches    *obs.Counter
 	latUs      *obs.Histogram
 	batchSeeds *obs.Histogram
-	reads      [cache.LocRemoteCPU + 1]*obs.Counter
+	reads      [cache.NumLocations]*obs.Counter
 	simSec     func() float64
 }
 
@@ -63,6 +63,8 @@ func locMetricName(l cache.Location) string {
 	switch l {
 	case cache.LocGPU:
 		return "gpu"
+	case cache.LocGPUQ:
+		return "gpu_int8"
 	case cache.LocPeerGPU:
 		return "peer_gpu"
 	case cache.LocLocalCPU:
@@ -120,7 +122,7 @@ type Snapshot struct {
 	MaxMs  float64 `json:"max_ms"`
 	MeanMs float64 `json:"mean_ms"`
 	// CacheHitRate is the fraction of feature reads served from the
-	// worker's own GPU cache.
+	// worker's own GPU cache, either tier (fp32 or int8).
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// FeatureReads counts feature rows read per location.
 	FeatureReads map[string]int64 `json:"feature_reads"`
@@ -162,7 +164,8 @@ func (s *Stats) Snapshot() Snapshot {
 		}
 	}
 	if totalReads > 0 {
-		snap.CacheHitRate = float64(s.reads[cache.LocGPU].Value()) / float64(totalReads)
+		hits := s.reads[cache.LocGPU].Value() + s.reads[cache.LocGPUQ].Value()
+		snap.CacheHitRate = float64(hits) / float64(totalReads)
 	}
 	if s.simSec != nil {
 		snap.SimSeconds = s.simSec()

@@ -176,6 +176,72 @@ func BenchmarkGatherThenMatMul(b *testing.B) {
 	}
 }
 
+// --- int8 warm-tier variants (dequant fused into the gather) ---
+
+// benchFeatSource admits every other row of feats into an int8 warm
+// tier, mirroring a half-warm tiered cache: the kernels see the worst
+// case for tier dispatch (fp32/int8 alternating per gathered row).
+func benchFeatSource(feats *Matrix) FeatSource {
+	q := NewQuant(feats.Rows, feats.Cols)
+	mask := make([]uint64, (feats.Rows+63)/64)
+	for r := 0; r < feats.Rows; r += 2 {
+		q.QuantizeRow(r, feats.Row(r))
+		mask[r>>6] |= 1 << (uint(r) & 63)
+	}
+	return FeatSource{F: feats, Q: q, QMask: mask}
+}
+
+// BenchmarkGatherMatMulQuant is BenchmarkGatherMatMul over a half-warm
+// tiered source: the dequant cost rides inside the gather-GEMM rather
+// than a separate materialization pass. Must stay 0 allocs/op (the
+// dequant scratch is pooled).
+func BenchmarkGatherMatMulQuant(b *testing.B) {
+	rng := graph.NewRNG(4)
+	feats := benchRandMat(rng, benchSrcN, benchIn)
+	src := benchFeatSource(feats)
+	idx := benchIdx(benchRows, benchSrcN, rng)
+	w := benchRandMat(rng, benchIn, benchOut)
+	b.SetBytes(int64(benchRows * benchIn * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := GatherMatMulSrc(src, idx, w)
+		Put(m)
+	}
+}
+
+// BenchmarkGatherTMatMulAccQuant is the layer-0 weight gradient read
+// through the tiered source.
+func BenchmarkGatherTMatMulAccQuant(b *testing.B) {
+	rng := graph.NewRNG(5)
+	feats := benchRandMat(rng, benchSrcN, benchIn)
+	src := benchFeatSource(feats)
+	idx := benchIdx(benchRows, benchSrcN, rng)
+	dz := benchRandMat(rng, benchRows, benchOut)
+	sparsify(dz, 0.5, rng)
+	dst := New(benchIn, benchOut)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherTMatMulAccSrc(dst, src, idx, dz)
+	}
+}
+
+// BenchmarkSegmentAggFusedQuant aggregates neighbor rows straight out
+// of the tiered source, dequantizing int8 rows edge by edge.
+func BenchmarkSegmentAggFusedQuant(b *testing.B) {
+	rng := graph.NewRNG(6)
+	edgePtr, srcIdx := benchSegments(512, 10, benchRows, rng)
+	z := benchRandMat(rng, benchRows, benchOut)
+	src := benchFeatSource(z)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := SegmentAggFusedSrc(edgePtr, srcIdx, src, true, true)
+		Put(m)
+	}
+}
+
 // --- transposed gradient accumulation ---
 
 func BenchmarkTMatMulAcc(b *testing.B) {

@@ -68,27 +68,95 @@ func SegmentAggFused(edgePtr []int64, srcIdx []int32, src *Matrix, mean, relu bo
 	return out
 }
 
-// segmentAggRange is the fused aggregation's per-row inner loop.
+// segmentAggRange is the fused aggregation's per-row inner loop. Edges
+// are consumed eight (then four) at a time so each pass over the output
+// row fuses that many source rows — per element the adds stay
+// sequential in edge order with a single accumulator, matching the
+// separate edge iterations bit for bit (source rows are read-only, so
+// duplicate edge endpoints cannot alias the accumulator). The mean
+// scale and ReLU mask run as one fused epilogue pass: each element's
+// ops (scale, then clamp) are independent across elements, so fusing
+// the passes changes no bit.
 //
 //apt:hotpath
 func segmentAggRange(edgePtr []int64, srcIdx []int32, src, out *Matrix, mean, relu bool, lo, hi int) {
+	sd, sc := src.Data, src.Cols
 	for i := lo; i < hi; i++ {
 		or := out.Row(i)
-		for e := edgePtr[i]; e < edgePtr[i+1]; e++ {
-			sr := src.Row(int(srcIdx[e]))[:len(or)]
+		n := len(or)
+		e, e1 := edgePtr[i], edgePtr[i+1]
+		for ; e+7 < e1; e += 8 {
+			p0 := int(srcIdx[e]) * sc
+			p1 := int(srcIdx[e+1]) * sc
+			p2 := int(srcIdx[e+2]) * sc
+			p3 := int(srcIdx[e+3]) * sc
+			p4 := int(srcIdx[e+4]) * sc
+			p5 := int(srcIdx[e+5]) * sc
+			p6 := int(srcIdx[e+6]) * sc
+			p7 := int(srcIdx[e+7]) * sc
+			sr0 := sd[p0 : p0+n]
+			sr1 := sd[p1 : p1+n]
+			sr2 := sd[p2 : p2+n]
+			sr3 := sd[p3 : p3+n]
+			sr4 := sd[p4 : p4+n]
+			sr5 := sd[p5 : p5+n]
+			sr6 := sd[p6 : p6+n]
+			sr7 := sd[p7 : p7+n]
+			for j := range or {
+				s := or[j]
+				s += sr0[j]
+				s += sr1[j]
+				s += sr2[j]
+				s += sr3[j]
+				s += sr4[j]
+				s += sr5[j]
+				s += sr6[j]
+				s += sr7[j]
+				or[j] = s
+			}
+		}
+		for ; e+3 < e1; e += 4 {
+			p0 := int(srcIdx[e]) * sc
+			p1 := int(srcIdx[e+1]) * sc
+			p2 := int(srcIdx[e+2]) * sc
+			p3 := int(srcIdx[e+3]) * sc
+			sr0 := sd[p0 : p0+n]
+			sr1 := sd[p1 : p1+n]
+			sr2 := sd[p2 : p2+n]
+			sr3 := sd[p3 : p3+n]
+			for j := range or {
+				s := or[j]
+				s += sr0[j]
+				s += sr1[j]
+				s += sr2[j]
+				s += sr3[j]
+				or[j] = s
+			}
+		}
+		for ; e < e1; e++ {
+			p := int(srcIdx[e]) * sc
+			sr := sd[p : p+n]
 			for j := range or {
 				or[j] += sr[j]
 			}
 		}
-		if mean {
-			if d := edgePtr[i+1] - edgePtr[i]; d > 1 {
-				inv := float32(1.0 / float64(d))
-				for j := range or {
-					or[j] *= inv
+		d := edgePtr[i+1] - edgePtr[i]
+		switch {
+		case mean && d > 1 && relu:
+			inv := float32(1.0 / float64(d))
+			for j := range or {
+				v := or[j] * inv
+				if !(v > 0) {
+					v = 0
 				}
+				or[j] = v
 			}
-		}
-		if relu {
+		case mean && d > 1:
+			inv := float32(1.0 / float64(d))
+			for j := range or {
+				or[j] *= inv
+			}
+		case relu:
 			for j := range or {
 				if !(or[j] > 0) {
 					or[j] = 0
@@ -132,8 +200,55 @@ func segmentAggScatterRange(edgePtr []int64, srcIdx []int32, out, dOut, dSrc *Ma
 				}
 			}
 		}
-		for e := e0; e < e1; e++ {
-			sr := dSrc.Row(int(srcIdx[e]))[:len(gr)]
+		// Scatter gr into the source rows four (then two) edges at a
+		// time: one load of gr[j] feeds all stores. Distinct rows touch
+		// disjoint memory; quads with a duplicated endpoint fall back to
+		// the pair logic, and a duplicated pair keeps its two adds
+		// sequential ((x+g)+g), matching the unpaired loop bit for bit.
+		dd, dc := dSrc.Data, dSrc.Cols
+		n := len(gr)
+		e := e0
+		for ; e+3 < e1; e += 4 {
+			r0, r1 := int(srcIdx[e]), int(srcIdx[e+1])
+			r2, r3 := int(srcIdx[e+2]), int(srcIdx[e+3])
+			if r0 == r1 || r0 == r2 || r0 == r3 || r1 == r2 || r1 == r3 || r2 == r3 {
+				break
+			}
+			sr0 := dd[r0*dc : r0*dc+n]
+			sr1 := dd[r1*dc : r1*dc+n]
+			sr2 := dd[r2*dc : r2*dc+n]
+			sr3 := dd[r3*dc : r3*dc+n]
+			for j := range gr {
+				g := gr[j]
+				sr0[j] += g
+				sr1[j] += g
+				sr2[j] += g
+				sr3[j] += g
+			}
+		}
+		for ; e+1 < e1; e += 2 {
+			r0, r1 := int(srcIdx[e]), int(srcIdx[e+1])
+			if r0 == r1 {
+				sr := dd[r0*dc : r0*dc+n]
+				for j := range gr {
+					s := sr[j]
+					s += gr[j]
+					s += gr[j]
+					sr[j] = s
+				}
+				continue
+			}
+			sr0 := dd[r0*dc : r0*dc+n]
+			sr1 := dd[r1*dc : r1*dc+n]
+			for j := range gr {
+				g := gr[j]
+				sr0[j] += g
+				sr1[j] += g
+			}
+		}
+		for ; e < e1; e++ {
+			r := int(srcIdx[e])
+			sr := dd[r*dc : r*dc+n]
 			for j := range gr {
 				sr[j] += gr[j]
 			}

@@ -132,21 +132,86 @@ func parallelTiles(rows, cols, minRowsPerTask, colBlock int, fn func(i0, i1, j0,
 // gemmA is the left-operand view of the blocked GEMM: plain matrix
 // rows, gathered rows (row r reads src[idx[r]]), or a column window
 // [lo, hi) of either — the gather- and shard-fused forms share one
-// kernel body instead of materializing copies.
+// kernel body instead of materializing copies. When q/qmask are set,
+// rows flagged in qmask are served by dequantizing the int8 tier into
+// a rotating scratch slot instead of reading src.
 type gemmA struct {
 	src *Matrix
 	idx []int32 // nil: row r is src row r
 	lo  int     // column window into each source row
 	hi  int
+
+	q     *QuantMatrix // optional int8 warm tier
+	qmask []uint64     // bitset over source rows served from q
+	// scratch holds gemmAScratchSlots dequant rows of width hi-lo; a
+	// returned row stays valid for the next gemmAScratchSlots-1 row
+	// calls (the widest kernel holds 8 rows live). Each worker must
+	// own its scratch (withScratch) — it is mutable per-call state.
+	scratch []float32
+	slot    int
 }
 
+// gemmAScratchSlots is the number of rotating dequant rows; must cover
+// the widest kernel's simultaneously live row count (8-wide unrolls)
+// and stay a power of two.
+const gemmAScratchSlots = 8
+
+// withScratch returns a copy of g owning a pooled dequant scratch (nil
+// matrix when no tier is configured — the fp32 path pays nothing).
+// The caller must Put the returned matrix when the kernel finishes.
+//
 //apt:hotpath
-func (g gemmA) row(r int) []float32 {
+func (g gemmA) withScratch() (gemmA, *Matrix) {
+	if g.qmask == nil {
+		return g, nil
+	}
+	m := Get(gemmAScratchSlots, g.hi-g.lo)
+	g.scratch = m.Data
+	g.slot = 0
+	return g, m
+}
+
+// row is split so its fp32 fast path stays under the inlining budget;
+// the dequant slow path lives in dequantRow.
+//
+//apt:hotpath
+func (g *gemmA) row(r int) []float32 {
 	if g.idx != nil {
 		r = int(g.idx[r])
 	}
+	if g.qmask != nil && g.qmask[r>>6]&(1<<(uint(r)&63)) != 0 {
+		return g.dequantRow(r)
+	}
 	base := r * g.src.Cols
 	return g.src.Data[base+g.lo : base+g.hi]
+}
+
+// dequantRow serves source row r from the int8 tier, dequantized into
+// the next rotating scratch slot.
+//
+//go:noinline
+//apt:hotpath
+func (g *gemmA) dequantRow(r int) []float32 {
+	w := g.hi - g.lo
+	o := g.slot * w
+	g.slot = (g.slot + 1) & (gemmAScratchSlots - 1)
+	dst := g.scratch[o : o+w]
+	q := g.q
+	qr := q.Data[r*q.Cols+g.lo : r*q.Cols+g.hi]
+	s, z := q.Scale[r], q.Zero[r]
+	j := 0
+	// Four independent convert+FMA chains per iteration keep the int8
+	// loads and CVTs pipelined instead of serializing on one chain.
+	for ; j+3 < len(qr); j += 4 {
+		dst[j] = s*float32(qr[j]) + z
+		dst[j+1] = s*float32(qr[j+1]) + z
+		dst[j+2] = s*float32(qr[j+2]) + z
+		dst[j+3] = s*float32(qr[j+3]) + z
+	}
+	for ; j < len(qr); j++ {
+		dst[j] = s*float32(qr[j]) + z
+	}
+	return dst
 }
 
 func (g gemmA) k() int { return g.hi - g.lo }
@@ -155,12 +220,66 @@ func (g gemmA) k() int { return g.hi - g.lo }
 // k-panel, k increasing, no zero-skip branch in the inner loop. arp is
 // the A-row slice aligned with the panel; bd holds the panel's B rows
 // starting at its first row with stride bw, offset bj selecting the
-// output column window.
+// output column window. The 8-wide (then 4-wide) k-unroll amortizes the
+// or[] load/store over eight fused terms; per element the adds remain
+// sequential in k order, so the association matches eight separate
+// iterations.
 //
 //apt:hotpath
 func gemmPanelDense(or, arp, bd []float32, bw, bj int) {
 	n := len(or)
 	kk := 0
+	for ; kk+7 < len(arp); kk += 8 {
+		a0, a1, a2, a3 := arp[kk], arp[kk+1], arp[kk+2], arp[kk+3]
+		a4, a5, a6, a7 := arp[kk+4], arp[kk+5], arp[kk+6], arp[kk+7]
+		o := kk*bw + bj
+		b0 := bd[o : o+n]
+		b1 := bd[o+bw : o+bw+n]
+		b2 := bd[o+2*bw : o+2*bw+n]
+		b3 := bd[o+3*bw : o+3*bw+n]
+		b4 := bd[o+4*bw : o+4*bw+n]
+		b5 := bd[o+5*bw : o+5*bw+n]
+		b6 := bd[o+6*bw : o+6*bw+n]
+		b7 := bd[o+7*bw : o+7*bw+n]
+		// Two output columns per pass: each column's adds stay in k
+		// order (bit-identical), but the two accumulator chains are
+		// independent, hiding the FP add latency the single chain
+		// serializes on.
+		j := 0
+		for ; j+1 < n; j += 2 {
+			s0, s1 := or[j], or[j+1]
+			s0 += a0 * b0[j]
+			s1 += a0 * b0[j+1]
+			s0 += a1 * b1[j]
+			s1 += a1 * b1[j+1]
+			s0 += a2 * b2[j]
+			s1 += a2 * b2[j+1]
+			s0 += a3 * b3[j]
+			s1 += a3 * b3[j+1]
+			s0 += a4 * b4[j]
+			s1 += a4 * b4[j+1]
+			s0 += a5 * b5[j]
+			s1 += a5 * b5[j+1]
+			s0 += a6 * b6[j]
+			s1 += a6 * b6[j+1]
+			s0 += a7 * b7[j]
+			s1 += a7 * b7[j+1]
+			or[j] = s0
+			or[j+1] = s1
+		}
+		for ; j < n; j++ {
+			s := or[j]
+			s += a0 * b0[j]
+			s += a1 * b1[j]
+			s += a2 * b2[j]
+			s += a3 * b3[j]
+			s += a4 * b4[j]
+			s += a5 * b5[j]
+			s += a6 * b6[j]
+			s += a7 * b7[j]
+			or[j] = s
+		}
+	}
 	for ; kk+3 < len(arp); kk += 4 {
 		a0, a1, a2, a3 := arp[kk], arp[kk+1], arp[kk+2], arp[kk+3]
 		o := kk*bw + bj
@@ -217,15 +336,24 @@ func gemmPanelSparse(or, arp, bd []float32, bw, bj int) {
 // are zero. Both kernels skip the same terms of the same k-ordered
 // sum, so the choice never changes a single output bit.
 //
+// The scan exits early once the nonzero count exceeds ⌊len/3⌋ — past
+// that point the two-thirds-zeros threshold is unreachable — so dense
+// rows (raw features, layer-0's common case) pay ~len/3 comparisons
+// instead of a full pass.
+//
 //apt:hotpath
 func gemmRowIsSparse(arp []float32) bool {
-	zeros := 0
+	limit := len(arp) - (2*len(arp)+2)/3
+	nz := 0
 	for _, v := range arp {
-		if v == 0 {
-			zeros++
+		if v != 0 {
+			nz++
+			if nz > limit {
+				return false
+			}
 		}
 	}
-	return 3*zeros >= 2*len(arp)
+	return true
 }
 
 // gemmTile computes one output tile [i0,i1) x [j0,j1) of out += A @ b,
@@ -234,6 +362,9 @@ func gemmRowIsSparse(arp []float32) bool {
 //
 //apt:hotpath
 func gemmTile(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool, i0, i1, j0, j1 int) {
+	// Each tile invocation owns its dequant scratch: tiles may run on
+	// separate goroutines and row() mutates the slot cursor.
+	a, aScratch := a.withScratch()
 	k, n := a.k(), out.Cols
 	jw := j1 - j0
 	// Pack the B panel when column blocking is active and the row block
@@ -258,10 +389,15 @@ func gemmTile(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool, i0, i1
 			}
 			bd, bw, bj = pack, jw, 0
 		}
+		// Narrow output windows (the classifier head) do too little work
+		// per skipped term to repay the density scan; dispatch straight
+		// to the dense kernel there. Both kernels compute the same
+		// k-ordered sum, so the dispatch choice never changes a bit.
+		scanSparse := jw >= 16
 		for i := i0; i < i1; i++ {
 			arp := a.row(i)[k0:k1]
 			or := out.Row(i)[j0:j1]
-			if gemmRowIsSparse(arp) {
+			if scanSparse && gemmRowIsSparse(arp) {
 				gemmPanelSparse(or, arp, bd, bw, bj)
 			} else {
 				gemmPanelDense(or, arp, bd, bw, bj)
@@ -271,6 +407,7 @@ func gemmTile(out *Matrix, a gemmA, b *Matrix, bias []float32, relu bool, i0, i1
 	if packMat != nil {
 		Put(packMat)
 	}
+	Put(aScratch)
 	if bias != nil || relu {
 		for i := i0; i < i1; i++ {
 			or := out.Row(i)[j0:j1]
@@ -405,6 +542,16 @@ func matmulTRange(out, a, b *Matrix, lo, hi int) {
 				br := b.Row(j)[:len(ar)]
 				var s float32
 				kk := 0
+				for ; kk+7 < k; kk += 8 {
+					s += ar[kk] * br[kk]
+					s += ar[kk+1] * br[kk+1]
+					s += ar[kk+2] * br[kk+2]
+					s += ar[kk+3] * br[kk+3]
+					s += ar[kk+4] * br[kk+4]
+					s += ar[kk+5] * br[kk+5]
+					s += ar[kk+6] * br[kk+6]
+					s += ar[kk+7] * br[kk+7]
+				}
 				for ; kk+3 < k; kk += 4 {
 					s += ar[kk] * br[kk]
 					s += ar[kk+1] * br[kk+1]
@@ -476,7 +623,9 @@ func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 	rows := b.Rows
 	workers := runtime.GOMAXPROCS(0)
 	if rows < tmatmulAccMinRows || workers == 1 {
-		tmatmulAccRange(dst, a, b, 0, rows)
+		aw, aScratch := a.withScratch()
+		tmatmulAccRange(dst, aw, b, 0, rows)
+		Put(aScratch)
 		return
 	}
 	//apt:allow hotalloc per-worker partials on the parallel fan-out; the steady-state bench path is the sequential branch above
@@ -497,7 +646,9 @@ func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 		//apt:allow hotalloc parallel fan-out goroutines; see the partials allow above
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			tmatmulAccRange(partials[w], a, b, lo, hi)
+			aw, aScratch := a.withScratch()
+			tmatmulAccRange(partials[w], aw, b, lo, hi)
+			Put(aScratch)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -509,46 +660,163 @@ func gatherTMatMulAcc(dst *Matrix, a gemmA, b *Matrix) {
 	}
 }
 
+// tmatmulAccPair applies the rank-1 updates of one k-row pair to output
+// row or, skipping zero coefficients (value-identical ±0 for finite
+// data). The adds stay sequential in k order — (or[j]+a0·br0[j])+a1·br1[j]
+// — matching two separate iterations exactly.
+//
+//apt:hotpath
+func tmatmulAccPair(or []float32, a0, a1 float32, br0, br1 []float32) {
+	if a0 == 0 {
+		if a1 == 0 {
+			return
+		}
+		for j := range or {
+			or[j] += a1 * br1[j]
+		}
+		return
+	}
+	if a1 == 0 {
+		for j := range or {
+			or[j] += a0 * br0[j]
+		}
+		return
+	}
+	for j := range or {
+		s := or[j]
+		s += a0 * br0[j]
+		s += a1 * br1[j]
+		or[j] = s
+	}
+}
+
 // tmatmulAccRange applies the rank-1 updates of k rows [lo, hi) to dst,
-// two k rows at a time. The paired form halves the passes over dst; the
-// per-element adds stay sequential in k order, so the association is
-// identical to two separate iterations.
+// eight (then four) k rows at a time. The wide forms amortize the pass
+// over dst when all coefficients are live (the common layer-0 case:
+// raw features are dense); mixed zero patterns fall back to zero-
+// skipping pair updates. Per element the adds stay sequential in k
+// order, so the association is identical to the separate iterations.
 //
 //apt:hotpath
 func tmatmulAccRange(dst *Matrix, a gemmA, b *Matrix, lo, hi int) {
 	m, n := dst.Rows, dst.Cols
+	dd := dst.Data
 	kk := lo
-	for ; kk+1 < hi; kk += 2 {
+	for ; kk+7 < hi; kk += 8 {
+		// Reslicing every A row to exactly m elements lets the compiler
+		// drop the bounds checks on the eight ar[i] loads per output row.
+		ar0 := a.row(kk)[:m]
+		ar1 := a.row(kk + 1)[:m]
+		ar2 := a.row(kk + 2)[:m]
+		ar3 := a.row(kk + 3)[:m]
+		ar4 := a.row(kk + 4)[:m]
+		ar5 := a.row(kk + 5)[:m]
+		ar6 := a.row(kk + 6)[:m]
+		ar7 := a.row(kk + 7)[:m]
+		br0 := b.Row(kk)[:n]
+		br1 := b.Row(kk + 1)[:n]
+		br2 := b.Row(kk + 2)[:n]
+		br3 := b.Row(kk + 3)[:n]
+		br4 := b.Row(kk + 4)[:n]
+		br5 := b.Row(kk + 5)[:n]
+		br6 := b.Row(kk + 6)[:n]
+		br7 := b.Row(kk + 7)[:n]
+		for i := 0; i < m; i++ {
+			a0, a1, a2, a3 := ar0[i], ar1[i], ar2[i], ar3[i]
+			a4, a5, a6, a7 := ar4[i], ar5[i], ar6[i], ar7[i]
+			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 &&
+				a4 != 0 && a5 != 0 && a6 != 0 && a7 != 0 {
+				or := dd[i*n : i*n+n]
+				// Two columns per pass — independent accumulator
+				// chains, per-column k order unchanged (see
+				// gemmPanelDense).
+				j := 0
+				for ; j+1 < n; j += 2 {
+					s0, s1 := or[j], or[j+1]
+					s0 += a0 * br0[j]
+					s1 += a0 * br0[j+1]
+					s0 += a1 * br1[j]
+					s1 += a1 * br1[j+1]
+					s0 += a2 * br2[j]
+					s1 += a2 * br2[j+1]
+					s0 += a3 * br3[j]
+					s1 += a3 * br3[j+1]
+					s0 += a4 * br4[j]
+					s1 += a4 * br4[j+1]
+					s0 += a5 * br5[j]
+					s1 += a5 * br5[j+1]
+					s0 += a6 * br6[j]
+					s1 += a6 * br6[j+1]
+					s0 += a7 * br7[j]
+					s1 += a7 * br7[j+1]
+					or[j] = s0
+					or[j+1] = s1
+				}
+				for ; j < n; j++ {
+					s := or[j]
+					s += a0 * br0[j]
+					s += a1 * br1[j]
+					s += a2 * br2[j]
+					s += a3 * br3[j]
+					s += a4 * br4[j]
+					s += a5 * br5[j]
+					s += a6 * br6[j]
+					s += a7 * br7[j]
+					or[j] = s
+				}
+				continue
+			}
+			or := dd[i*n : i*n+n]
+			tmatmulAccPair(or, a0, a1, br0, br1)
+			tmatmulAccPair(or, a2, a3, br2, br3)
+			tmatmulAccPair(or, a4, a5, br4, br5)
+			tmatmulAccPair(or, a6, a7, br6, br7)
+		}
+	}
+	for ; kk+3 < hi; kk += 4 {
+		ar0 := a.row(kk)[:m]
+		ar1 := a.row(kk + 1)[:m]
+		ar2 := a.row(kk + 2)[:m]
+		ar3 := a.row(kk + 3)[:m]
+		br0 := b.Row(kk)[:n]
+		br1 := b.Row(kk + 1)[:n]
+		br2 := b.Row(kk + 2)[:n]
+		br3 := b.Row(kk + 3)[:n]
+		for i := 0; i < m; i++ {
+			a0, a1, a2, a3 := ar0[i], ar1[i], ar2[i], ar3[i]
+			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+				or := dd[i*n : i*n+n]
+				for j := range or {
+					s := or[j]
+					s += a0 * br0[j]
+					s += a1 * br1[j]
+					s += a2 * br2[j]
+					s += a3 * br3[j]
+					or[j] = s
+				}
+				continue
+			}
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			or := dd[i*n : i*n+n]
+			tmatmulAccPair(or, a0, a1, br0, br1)
+			tmatmulAccPair(or, a2, a3, br2, br3)
+		}
+	}
+	if kk+1 < hi {
 		ar0 := a.row(kk)
 		ar1 := a.row(kk + 1)
 		br0 := b.Row(kk)[:n]
 		br1 := b.Row(kk + 1)[:n]
 		for i := 0; i < m; i++ {
 			a0, a1 := ar0[i], ar1[i]
-			if a0 == 0 {
-				if a1 == 0 {
-					continue
-				}
-				or := dst.Data[i*n : i*n+n]
-				for j := range or {
-					or[j] += a1 * br1[j]
-				}
+			if a0 == 0 && a1 == 0 {
 				continue
 			}
-			or := dst.Data[i*n : i*n+n]
-			if a1 == 0 {
-				for j := range or {
-					or[j] += a0 * br0[j]
-				}
-				continue
-			}
-			for j := range or {
-				s := or[j]
-				s += a0 * br0[j]
-				s += a1 * br1[j]
-				or[j] = s
-			}
+			tmatmulAccPair(dd[i*n:i*n+n], a0, a1, br0, br1)
 		}
+		kk += 2
 	}
 	for ; kk < hi; kk++ {
 		ar := a.row(kk)

@@ -26,6 +26,27 @@ const maxPoolClass = 26
 // matPools[c] holds *Matrix whose Data capacity is >= 1<<c floats.
 var matPools [maxPoolClass + 1]sync.Pool
 
+// sync.Pool contents are discarded across GC cycles, and the training
+// loop's own steady-state churn is enough to keep the collector
+// running — so under sync.Pool alone the hot loop re-allocates its
+// whole working set every couple of epochs and the "miss → allocate →
+// GC → flush → miss" cycle never settles. A small strongly-referenced
+// free list in front of the sync.Pools pins the hot shapes across
+// collections. It is deliberately tiny: only buffers up to
+// 2^strongMaxClass floats (4 MiB) with at most strongPerClass entries
+// per class, bounding pinned memory at ~64 MiB worst case and far less
+// in practice (only classes the workload actually uses fill up).
+// Oversized or overflow traffic falls through to the sync.Pools.
+const (
+	strongMaxClass = 20
+	strongPerClass = 8
+)
+
+var strongMats struct {
+	mu   sync.Mutex
+	free [strongMaxClass + 1][]*Matrix
+}
+
 // sizeClass returns the smallest c with 1<<c >= n.
 func sizeClass(n int) int {
 	if n <= 1 {
@@ -42,8 +63,21 @@ func Get(rows, cols int) *Matrix {
 		return New(rows, cols)
 	}
 	c := sizeClass(n)
-	if v := matPools[c].Get(); v != nil {
-		m := v.(*Matrix)
+	var m *Matrix
+	if c <= strongMaxClass {
+		strongMats.mu.Lock()
+		if fl := strongMats.free[c]; len(fl) > 0 {
+			m = fl[len(fl)-1]
+			strongMats.free[c] = fl[:len(fl)-1]
+		}
+		strongMats.mu.Unlock()
+	}
+	if m == nil {
+		if v := matPools[c].Get(); v != nil {
+			m = v.(*Matrix)
+		}
+	}
+	if m != nil {
 		m.Rows, m.Cols = rows, cols
 		m.Data = m.Data[:n]
 		for i := range m.Data {
@@ -71,5 +105,14 @@ func Put(m *Matrix) {
 	// matrix Get pulls from class c is guaranteed to hold 2^c floats.
 	c := bits.Len(uint(cp)) - 1
 	m.Data = m.Data[:0]
+	if c <= strongMaxClass {
+		strongMats.mu.Lock()
+		if len(strongMats.free[c]) < strongPerClass {
+			strongMats.free[c] = append(strongMats.free[c], m)
+			strongMats.mu.Unlock()
+			return
+		}
+		strongMats.mu.Unlock()
+	}
 	matPools[c].Put(m)
 }

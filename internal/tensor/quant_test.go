@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// quantFixture builds a feature matrix with mixed row shapes (normal,
+// large-range, constant, tiny-range, zero) and a fully-quantized
+// shadow of it.
+func quantFixture(rows, cols int, seed uint64) (*Matrix, *QuantMatrix, []uint64) {
+	rng := graph.NewRNG(seed)
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		switch r % 5 {
+		case 0: // typical features
+			for j := 0; j < cols; j++ {
+				m.Set(r, j, rng.NormFloat32())
+			}
+		case 1: // large dynamic range
+			for j := 0; j < cols; j++ {
+				m.Set(r, j, 100*rng.NormFloat32())
+			}
+		case 2: // constant row (degenerate: scale 0)
+			for j := 0; j < cols; j++ {
+				m.Set(r, j, 3.25)
+			}
+		case 3: // tiny range around a large offset
+			for j := 0; j < cols; j++ {
+				m.Set(r, j, 50+0.001*rng.NormFloat32())
+			}
+		case 4: // all zero
+		}
+	}
+	q := NewQuant(rows, cols)
+	mask := make([]uint64, (rows+63)/64)
+	for r := 0; r < rows; r++ {
+		q.QuantizeRow(r, m.Row(r))
+		mask[r>>6] |= 1 << (uint(r) & 63)
+	}
+	return m, q, mask
+}
+
+// rowRange is max-min of a row.
+func rowRange(row []float32) float64 {
+	mn, mx := row[0], row[0]
+	for _, v := range row {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return float64(mx) - float64(mn)
+}
+
+// TestQuantRoundTripProperty: per-row affine int8 quantization over
+// 255 levels bounds the round-trip error of every element by half a
+// step, (max-min)/510; degenerate constant rows reproduce exactly.
+func TestQuantRoundTripProperty(t *testing.T) {
+	const rows, cols = 200, 19
+	m, q, _ := quantFixture(rows, cols, 11)
+	dst := make([]float32, cols)
+	for r := 0; r < rows; r++ {
+		src := m.Row(r)
+		q.DequantRowInto(dst, r)
+		// Half a quantization step, plus a few float32 ULPs at the
+		// row's magnitude: scale*q+zero rounds once more than the real
+		// arithmetic the half-step bound assumes.
+		var maxAbs float64
+		for _, v := range src {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		halfStep := rowRange(src) / 510
+		bound := halfStep*(1+1e-5) + maxAbs*1e-6
+		for j := 0; j < cols; j++ {
+			err := math.Abs(float64(dst[j]) - float64(src[j]))
+			if halfStep == 0 {
+				if err != 0 {
+					t.Fatalf("row %d col %d: constant row must round-trip exactly, got err %g", r, j, err)
+				}
+				continue
+			}
+			if err > bound {
+				t.Errorf("row %d col %d: round-trip error %g exceeds bound %g", r, j, err, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizeRowDeterministic: quantizing the same data twice yields
+// identical codes and row parameters (the admission path re-runs on
+// re-planning, and the cache contents must not drift).
+func TestQuantizeRowDeterministic(t *testing.T) {
+	const rows, cols = 40, 16
+	m, q, _ := quantFixture(rows, cols, 23)
+	q2 := NewQuant(rows, cols)
+	for r := 0; r < rows; r++ {
+		q2.QuantizeRow(r, m.Row(r))
+	}
+	for i := range q.Data {
+		if q.Data[i] != q2.Data[i] {
+			t.Fatalf("code %d differs across identical quantizations", i)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if q.Scale[r] != q2.Scale[r] || q.Zero[r] != q2.Zero[r] {
+			t.Fatalf("row %d params differ across identical quantizations", r)
+		}
+	}
+}
+
+// TestFeatSourceExactDispatch: a FeatSource with no quantized tier
+// must route every kernel to the existing fp32 implementation with
+// bit-identical output — the tier being merely *present in the API*
+// cannot perturb the fp32 path.
+func TestFeatSourceExactDispatch(t *testing.T) {
+	const rows, cols, out = 64, 12, 7
+	rng := graph.NewRNG(5)
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat32()
+	}
+	b := New(cols, out)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat32()
+	}
+	idx := make([]int32, 40)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(rows))
+	}
+	src := FS(m)
+
+	want := GatherMatMul(m, idx, b)
+	got := GatherMatMulSrc(src, idx, b)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("GatherMatMulSrc[%d] = %v, want exact %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	Put(want)
+	Put(got)
+
+	g1 := Gather(m, idx)
+	g2 := New(len(idx), cols)
+	GatherIntoSrc(g2, src, idx)
+	for i := range g1.Data {
+		if g1.Data[i] != g2.Data[i] {
+			t.Fatalf("GatherIntoSrc[%d] = %v, want exact %v", i, g2.Data[i], g1.Data[i])
+		}
+	}
+
+	dW1 := New(cols, out)
+	dW2 := New(cols, out)
+	dZ := New(len(idx), out)
+	for i := range dZ.Data {
+		dZ.Data[i] = rng.NormFloat32()
+	}
+	GatherTMatMulAcc(dW1, m, idx, dZ)
+	GatherTMatMulAccSrc(dW2, src, idx, dZ)
+	for i := range dW1.Data {
+		if dW1.Data[i] != dW2.Data[i] {
+			t.Fatalf("GatherTMatMulAccSrc[%d] = %v, want exact %v", i, dW2.Data[i], dW1.Data[i])
+		}
+	}
+}
+
+// TestQuantizedGatherTolerance: with every source row quantized, the
+// fused dequant-gather matmul stays within the analytic error bound
+// sum_k rowErr(k)*|B[k,j]| of the fp32 product.
+func TestQuantizedGatherTolerance(t *testing.T) {
+	const rows, cols, out = 100, 16, 9
+	m, q, mask := quantFixture(rows, cols, 31)
+	src := FeatSource{F: m, Q: q, QMask: mask}
+	rng := graph.NewRNG(17)
+	b := New(cols, out)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat32()
+	}
+	idx := make([]int32, 80)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(rows))
+	}
+
+	exact := GatherMatMul(m, idx, b)
+	approx := GatherMatMulSrc(src, idx, b)
+	for r := range idx {
+		rowErr := rowRange(m.Row(int(idx[r]))) / 510 * (1 + 1e-5)
+		for j := 0; j < out; j++ {
+			var bound float64
+			for k := 0; k < cols; k++ {
+				bound += rowErr * math.Abs(float64(b.At(k, j)))
+			}
+			d := math.Abs(float64(approx.At(r, j)) - float64(exact.At(r, j)))
+			if d > bound+1e-5 {
+				t.Errorf("out[%d,%d]: quantized drift %g exceeds analytic bound %g", r, j, d, bound)
+			}
+		}
+	}
+	Put(exact)
+	Put(approx)
+}
+
+// TestSegmentAggFusedSrcExact: the per-edge dispatching aggregation
+// matches the fp32 kernel bit-for-bit when no row is quantized, and
+// stays within the per-row bound when all are.
+func TestSegmentAggFusedSrcExact(t *testing.T) {
+	const rows, cols = 60, 10
+	m, q, mask := quantFixture(rows, cols, 41)
+	rng := graph.NewRNG(7)
+	nDst := 20
+	edgePtr := make([]int64, nDst+1)
+	var srcIdx []int32
+	for d := 0; d < nDst; d++ {
+		deg := rng.Intn(6)
+		for e := 0; e < deg; e++ {
+			srcIdx = append(srcIdx, int32(rng.Intn(rows)))
+		}
+		edgePtr[d+1] = int64(len(srcIdx))
+	}
+
+	want := SegmentAggFused(edgePtr, srcIdx, m, true, true)
+	got := SegmentAggFusedSrc(edgePtr, srcIdx, FS(m), true, true)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("SegmentAggFusedSrc[%d] = %v, want exact %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	Put(got)
+
+	approx := SegmentAggFusedSrc(edgePtr, srcIdx, FeatSource{F: m, Q: q, QMask: mask}, true, true)
+	for d := 0; d < nDst; d++ {
+		var bound float64
+		for _, s := range srcIdx[edgePtr[d]:edgePtr[d+1]] {
+			bound += rowRange(m.Row(int(s))) / 510 * (1 + 1e-5)
+		}
+		deg := float64(edgePtr[d+1] - edgePtr[d])
+		if deg > 1 {
+			bound /= deg // mean aggregation divides the summed error too
+		}
+		for j := 0; j < cols; j++ {
+			diff := math.Abs(float64(approx.At(d, j)) - float64(want.At(d, j)))
+			if diff > bound+1e-5 {
+				t.Errorf("agg[%d,%d]: drift %g exceeds bound %g", d, j, diff, bound)
+			}
+		}
+	}
+	Put(want)
+	Put(approx)
+}
