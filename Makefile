@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-kernels bench-check
+.PHONY: build test lint verify bench bench-kernels bench-check bench-transport
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,14 @@ ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|GatherMatMulQu
 # verify is the pre-merge gate: lint (vet + aptlint) + build everything
 # (including the serving daemon), run the concurrency-heavy packages
 # (pipelined engine, pooled kernels, inference server, span/metrics
-# collection, comm ledger, device clocks) under the race detector, then
-# hold the fused kernels to zero steady-state allocations.
+# collection, comm ledger, device clocks, and the TCP transport's
+# loopback collective tests) under the race detector, then hold the
+# fused kernels to zero steady-state allocations.
 verify: lint
 	$(GO) run ./cmd/aptlint -audit
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
-	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/...
+	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/... ./internal/transport/...
 	$(GO) test -run XXX -bench $(ALLOC_FREE_KERNELS) -benchmem -benchtime 50x ./internal/tensor/ \
 		| awk '/^Benchmark/ { if ($$(NF-1)+0 != 0) { print "FAIL (allocs/op != 0):", $$0; bad=1 } } END { exit bad }'
 
@@ -61,3 +62,11 @@ bench-check:
 	( GOMAXPROCS=1 $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
 	  GOMAXPROCS=1 $(GO) test -run XXX -bench $(EPOCH_BENCHES) -benchmem -benchtime 20x . ) \
 		| $(GO) run ./cmd/benchkernels -check -against BENCH_kernels.json
+
+# bench-transport regenerates BENCH_transport.json: wall-clock epoch
+# time of real-mode training per strategy under the in-process channel
+# transport vs the TCP backend over loopback (2 rank processes).
+# Training is bit-identical across the two, so the tcp/channel ratio
+# isolates pure wire overhead (serialization + sockets).
+bench-transport:
+	$(GO) run ./cmd/aptbench -exp transport -scale 0.1 -epochs 2

@@ -11,7 +11,8 @@
 // Experiments: fig1 fig6 fig7 fig8a fig8b fig8c fig9 fig10 fig11
 // fig12 tab1 tab3 tab4 ablation-fullcost ablation-dryrun
 // ablation-cache ablation-pipeline ablation-replan ext-hybrid
-// ext-nvlink all
+// ext-nvlink all; plus transport (channel vs TCP-loopback wall epoch
+// time, written to BENCH_transport.json — see make bench-transport)
 package main
 
 import (
@@ -43,6 +44,18 @@ func main() {
 
 	if *trace != "" {
 		traceRun(*trace, *scale, *devs, *epochs, *batch)
+		return
+	}
+	if *exp == "transport" {
+		// Channel-vs-TCP wall time is its own path: it runs real
+		// sockets and rank processes, not the simulated platform the
+		// experiment env wraps.
+		report, err := transportBench(*scale, *epochs, *batch, "BENCH_transport.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aptbench transport:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
 		return
 	}
 

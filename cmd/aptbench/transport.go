@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+	"repro/internal/transport"
+)
+
+// transportBenchWorld is the rank count for the transport comparison.
+// Two ranks keep the loopback run cheap while still crossing a real
+// socket for every collective.
+const transportBenchWorld = 2
+
+// transportResult is one strategy's channel-vs-TCP measurement.
+type transportResult struct {
+	ChannelEpochSec float64 `json:"channel_epoch_sec"`
+	TCPEpochSec     float64 `json:"tcp_epoch_sec"`
+	TCPOverChannel  float64 `json:"tcp_over_channel"`
+}
+
+// transportBench measures wall-clock epoch time of real-mode training
+// under the in-process channel transport against the same job split
+// into TCP-loopback rank processes (modeled as goroutines, each with
+// its own APT instance, sharing only sockets). Engine construction and
+// planning are excluded from the timing; training is bit-identical
+// across the two transports, so the column isolates pure wire
+// overhead. Results go to stdout and BENCH_transport.json.
+func transportBench(scale float64, epochs, batch int, jsonPath string) (string, error) {
+	if epochs < 1 {
+		epochs = 1
+	}
+	mkTask := func() core.Task {
+		spec, err := dataset.ByAbbr("PS", scale)
+		if err != nil {
+			panic(err)
+		}
+		spec.HomophilyDegree = 6
+		ds := dataset.Build(spec, true)
+		return core.Task{
+			Graph:   ds.Graph,
+			Feats:   ds.Feats,
+			Labels:  ds.Labels,
+			FeatDim: spec.FeatDim,
+			Seeds:   ds.TrainSeeds,
+			NewModel: func() *nn.Model {
+				return nn.NewGraphSAGE(spec.FeatDim, 32, spec.Classes, 2)
+			},
+			Sampling:   sample.Config{Fanouts: []int{10, 10}},
+			BatchSize:  batch,
+			Platform:   hardware.WithDevices(hardware.SingleMachine8GPU(), 1, transportBenchWorld),
+			CacheBytes: ds.CacheBytesFraction(0.08),
+			Seed:       7,
+		}
+	}
+
+	kinds := []strategy.Kind{strategy.GDP, strategy.NFP, strategy.SNP, strategy.DNP}
+	results := make(map[string]transportResult, len(kinds))
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transport overhead: wall epoch time, channel vs TCP loopback (world=%d, %d epoch(s))\n",
+		transportBenchWorld, epochs)
+	fmt.Fprintf(&b, "%-6s  %14s  %14s  %8s\n", "", "channel s/ep", "tcp s/ep", "tcp/ch")
+
+	for _, k := range kinds {
+		chSec, err := channelEpochSec(mkTask(), k, epochs)
+		if err != nil {
+			return "", fmt.Errorf("%v channel: %w", k, err)
+		}
+		tcpSec, err := tcpEpochSec(mkTask, k, epochs)
+		if err != nil {
+			return "", fmt.Errorf("%v tcp: %w", k, err)
+		}
+		r := transportResult{ChannelEpochSec: chSec, TCPEpochSec: tcpSec, TCPOverChannel: tcpSec / chSec}
+		results[k.String()] = r
+		fmt.Fprintf(&b, "%-6v  %14.4f  %14.4f  %8.2f\n", k, r.ChannelEpochSec, r.TCPEpochSec, r.TCPOverChannel)
+	}
+
+	blob, err := json.MarshalIndent(struct {
+		GeneratedBy string                     `json:"generated_by"`
+		World       int                        `json:"world"`
+		Epochs      int                        `json:"epochs"`
+		Strategies  map[string]transportResult `json:"strategies"`
+	}{"make bench-transport", transportBenchWorld, epochs, results}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "results written to %s\n", jsonPath)
+	return b.String(), nil
+}
+
+//apt:allow simclock this benchmark's measurand IS wall-clock epoch time
+func channelEpochSec(task core.Task, k strategy.Kind, epochs int) (float64, error) {
+	apt, err := core.New(task)
+	if err != nil {
+		return 0, err
+	}
+	e, err := apt.BuildEngine(k)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for ep := 0; ep < epochs; ep++ {
+		e.RunEpoch()
+	}
+	return time.Since(start).Seconds() / float64(epochs), nil
+}
+
+//apt:allow simclock this benchmark's measurand IS wall-clock epoch time
+func tcpEpochSec(mkTask func() core.Task, k strategy.Kind, epochs int) (float64, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	const world = transportBenchWorld
+	trs := make([]*transport.TCP, world)
+	engines := make([]*engine.Engine, world)
+	errs := make([]error, world)
+	// Build phase: bootstrap the mesh and construct every rank's engine
+	// before the clock starts, as a launcher would.
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			opts := transport.TCPOptions{Rank: r, World: world, Coord: ln.Addr().String()}
+			if r == 0 {
+				opts.CoordListener = ln
+			}
+			tr, err := transport.NewTCP(opts)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			trs[r] = tr
+			apt, err := core.New(mkTask())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			engines[r], errs[r] = apt.BuildEngineDistributed(k, tr, r)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for ep := 0; ep < epochs; ep++ {
+				engines[r].RunEpoch()
+			}
+		}(r)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds() / float64(epochs)
+	for r := 0; r < world; r++ {
+		if err := trs[r].Close(); err != nil {
+			return 0, err
+		}
+	}
+	return sec, nil
+}

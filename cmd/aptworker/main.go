@@ -1,0 +1,160 @@
+// Command aptworker runs ONE rank of a multi-process APT training job
+// over the TCP transport (internal/transport). Every rank is launched
+// with the identical task flags plus its own -rank; rank 0 binds the
+// coordinator address and the others rendezvous against it — the
+// torch.distributed tcp:// init pattern. The engine's determinism
+// makes the job bit-identical to a single-process run, which every
+// rank reports as an FNV-64a checksum over its trained parameters:
+// a healthy job prints the same checksum on every rank.
+//
+// Usage (2 ranks on one machine):
+//
+//	aptworker -rank 0 -world 2 -coord 127.0.0.1:29500 &
+//	aptworker -rank 1 -world 2 -coord 127.0.0.1:29500
+//
+// With -measure-wire each rank times the live collectives during
+// startup and plans against the measured wire speeds (the WireStats
+// cross-rank maximum keeps every rank's plan identical); otherwise
+// planning uses the simulated hardware profile.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		rank        = flag.Int("rank", -1, "this process's rank in [0, world)")
+		world       = flag.Int("world", 2, "number of rank processes (= devices)")
+		coord       = flag.String("coord", "127.0.0.1:29500", "coordinator rendezvous address (rank 0 binds it)")
+		bind        = flag.String("bind", "", "host for this rank's data listener (default 127.0.0.1; set for multi-machine)")
+		data        = flag.String("data", "PS", "dataset preset: PS, FS, or IM")
+		scale       = flag.Float64("scale", 0.1, "dataset scale multiplier")
+		hidden      = flag.Int("hidden", 32, "hidden dimension")
+		layers      = flag.Int("layers", 2, "GNN layers")
+		fanout      = flag.Int("fanout", 10, "neighbors sampled per layer")
+		epochs      = flag.Int("epochs", 3, "training epochs")
+		batch       = flag.Int("batch", 64, "per-GPU batch size")
+		lr          = flag.Float64("lr", 0.01, "Adam learning rate")
+		pinned      = flag.String("strategy", "", "pin a strategy (GDP/NFP/SNP/DNP) instead of planning")
+		measureWire = flag.Bool("measure-wire", false, "calibrate the planner against measured collective wire speeds")
+	)
+	flag.Parse()
+
+	// The whole task must be a pure function of the shared flags: every
+	// rank rebuilds the identical dataset, platform, and plan, and the
+	// wire moves only per-batch payloads — never configuration.
+	spec, err := dataset.ByAbbr(*data, *scale)
+	fatal(err)
+	spec.HomophilyDegree = 6
+	ds := dataset.Build(spec, true)
+	p := hardware.WithDevices(hardware.SingleMachine8GPU(), 1, *world)
+	fanouts := make([]int, *layers)
+	for i := range fanouts {
+		fanouts[i] = *fanout
+	}
+	task := core.Task{
+		Graph:   ds.Graph,
+		Feats:   ds.Feats,
+		Labels:  ds.Labels,
+		FeatDim: spec.FeatDim,
+		Seeds:   ds.TrainSeeds,
+		NewModel: func() *nn.Model {
+			return nn.NewGraphSAGE(spec.FeatDim, *hidden, spec.Classes, *layers)
+		},
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(float32(*lr)) },
+		Sampling:     sample.Config{Fanouts: fanouts},
+		BatchSize:    *batch,
+		Platform:     p,
+		CacheBytes:   ds.CacheBytesFraction(0.08),
+		Seed:         7,
+	}
+
+	tr, err := transport.NewTCP(transport.TCPOptions{
+		Rank: *rank, World: *world, Coord: *coord, BindHost: *bind,
+	})
+	fatal(err)
+	logf(*rank, "connected: world %d via %s", *world, *coord)
+
+	if *measureWire {
+		c := comm.NewWithTransport(device.NewGroup(p), tr)
+		ws := transport.MeasureWire(c, *rank, 0, 0)
+		task.ProfileOverride = ws.ApplyTo(comm.MeasureProfile(p))
+		logf(*rank, "measured wire: alltoall %.2e B/s  allgather %.2e B/s  allreduce %.2e B/s",
+			ws.AllToAllBps, ws.AllGatherBps, ws.AllReduceBps)
+	}
+
+	apt, err := core.New(task)
+	fatal(err)
+	choice := strategy.SNP
+	if *pinned != "" {
+		choice, err = strategy.Parse(*pinned)
+		fatal(err)
+	} else {
+		// Planning is deterministic in the task (and, under
+		// -measure-wire, in the rank-agreed WireStats), so every rank
+		// independently arrives at the same choice.
+		choice, err = apt.Plan()
+		fatal(err)
+	}
+	logf(*rank, "strategy: %v", choice)
+
+	eng, err := apt.BuildEngineDistributed(choice, tr, *rank)
+	fatal(err)
+	for ep := 1; ep <= *epochs; ep++ {
+		//apt:allow simclock CLI progress reporting; the wall epoch time is the quantity a distributed run exists to improve
+		start := time.Now()
+		st := eng.RunEpoch()
+		engine.RecordEpochMetrics(apt.Metrics(), st)
+		//apt:allow simclock CLI progress reporting; the wall epoch time is the quantity a distributed run exists to improve
+		wall := time.Since(start).Seconds()
+		logf(*rank, "epoch %2d  wall %.3fs  sim %.4fs  loss %.4f",
+			ep, wall, st.EpochTime(), st.MeanLoss)
+	}
+	fatal(tr.Close())
+	// The checksum covers this rank's trained replica bit-for-bit; the
+	// collectives keep replicas synchronized, so all ranks must agree.
+	logf(*rank, "params fnv64a %016x", paramChecksum(eng.Model(*rank)))
+}
+
+// paramChecksum hashes every parameter's exact f32 bit pattern in
+// layer order.
+func paramChecksum(m *nn.Model) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, p := range m.Params() {
+		for _, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func logf(rank int, format string, args ...any) {
+	fmt.Printf("[rank %d] %s\n", rank, fmt.Sprintf(format, args...))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aptworker:", err)
+		os.Exit(1)
+	}
+}

@@ -7,12 +7,17 @@
 //
 // Collectives are synchronous: every device of the group must call the
 // same sequence of collectives (the engine runs devices in lockstep per
-// mini-batch step). Payload matrices move by reference — the "wire" is
-// a Go channel — but timing is charged as if the bytes crossed the
-// platform's PCIe/NVLink/network links.
+// mini-batch step). The collectives run over a pluggable Transport
+// (transport.go): on the default in-process backend payload matrices
+// move by reference — the "wire" is a Go channel — while the TCP
+// backend in package transport serializes them across real sockets
+// between rank processes. Either way timing is charged as if the bytes
+// crossed the platform's PCIe/NVLink/network links, so the planner's
+// accounting is backend-independent.
 package comm
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/device"
@@ -43,12 +48,15 @@ func (p Payload) SizeBytes() int64 {
 	return s
 }
 
-// Comm connects the devices of one group.
+// Comm connects the devices of one group. The collectives run over a
+// Transport (see transport.go for the contract and the concurrency
+// ownership rule): in-process channels by default, or a wire backend
+// where each rank is its own OS process.
 type Comm struct {
 	Group  *device.Group
 	Ledger *Ledger
 	n      int
-	boxes  [][]chan Payload // boxes[src][dst], buffered depth 1
+	tr     Transport
 	// Spans, when non-nil, holds one observability track per device on
 	// which every collective emits a span (operator name, bytes moved,
 	// charged seconds). Spans[dev] is only touched from dev's own
@@ -59,19 +67,29 @@ type Comm struct {
 	SpanBase *float64
 }
 
-// New creates the communication fabric for a device group.
+// New creates the communication fabric for a device group over the
+// default in-process channel transport.
 func New(g *device.Group) *Comm {
-	n := len(g.Devices)
-	c := &Comm{Group: g, Ledger: NewLedger(), n: n}
-	c.boxes = make([][]chan Payload, n)
-	for i := range c.boxes {
-		c.boxes[i] = make([]chan Payload, n)
-		for j := range c.boxes[i] {
-			c.boxes[i][j] = make(chan Payload, 1)
-		}
-	}
-	return c
+	return NewWithTransport(g, NewChanTransport(len(g.Devices)))
 }
+
+// NewWithTransport creates the communication fabric over an explicit
+// transport whose ranks map to the group's device IDs. The timing
+// model is unchanged — bytes are charged to the simulated clocks via
+// the platform link model regardless of what physically carries them —
+// so the planner's accounting stays comparable across backends; wire
+// backends additionally expose their measured speeds for calibration
+// (package transport).
+func NewWithTransport(g *device.Group, tr Transport) *Comm {
+	n := len(g.Devices)
+	if tr.World() != n {
+		panic(fmt.Sprintf("comm: transport world %d != group size %d", tr.World(), n))
+	}
+	return &Comm{Group: g, Ledger: NewLedger(), n: n, tr: tr}
+}
+
+// Transport returns the fabric the collectives run on.
+func (c *Comm) Transport() Transport { return c.tr }
 
 // NumDevices returns the group size.
 func (c *Comm) NumDevices() int { return c.n }
@@ -173,7 +191,7 @@ func (c *Comm) AllToAll(dev int, stage string, outs []Payload) []Payload {
 		if j == dev {
 			continue
 		}
-		c.boxes[dev][j] <- outs[j]
+		c.tr.Send(dev, j, outs[j])
 		sendTo[j] = outs[j].SizeBytes()
 	}
 	in := make([]Payload, c.n)
@@ -182,7 +200,7 @@ func (c *Comm) AllToAll(dev int, stage string, outs []Payload) []Payload {
 		if j == dev {
 			continue
 		}
-		in[j] = <-c.boxes[j][dev]
+		in[j] = c.tr.Recv(dev, j)
 		recvFrom[j] = in[j].SizeBytes()
 	}
 	c.chargePairwise(dev, stage, "alltoall", sendTo, recvFrom)
@@ -236,6 +254,27 @@ func (c *Comm) AllReduce(dev int, stage string, mat *tensor.Matrix, bytes int64)
 	return result
 }
 
+// AllToAllNoCharge performs the data movement of AllToAll without
+// charging simulated time; used by wire measurement (package
+// transport), where the cost of interest is wall-clock, and by tests.
+func (c *Comm) AllToAllNoCharge(dev int, outs []Payload) []Payload {
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		c.tr.Send(dev, j, outs[j])
+	}
+	in := make([]Payload, c.n)
+	in[dev] = outs[dev]
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		in[j] = c.tr.Recv(dev, j)
+	}
+	return in
+}
+
 // AllGatherNoCharge performs the data movement of AllGather without
 // charging simulated time; used internally by AllReduce (whose timing
 // follows the ring model, not the naive gather) and by tests.
@@ -244,7 +283,7 @@ func (c *Comm) AllGatherNoCharge(dev int, p Payload) []Payload {
 		if j == dev {
 			continue
 		}
-		c.boxes[dev][j] <- p
+		c.tr.Send(dev, j, p)
 	}
 	in := make([]Payload, c.n)
 	in[dev] = p
@@ -252,7 +291,7 @@ func (c *Comm) AllGatherNoCharge(dev int, p Payload) []Payload {
 		if j == dev {
 			continue
 		}
-		in[j] = <-c.boxes[j][dev]
+		in[j] = c.tr.Recv(dev, j)
 	}
 	return in
 }

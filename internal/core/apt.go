@@ -275,6 +275,35 @@ func (a *APT) BuildEngine(k strategy.Kind) (*engine.Engine, error) {
 	return engine.New(cfg)
 }
 
+// BuildEngineDistributed is BuildEngine for one rank of a
+// multi-process run: the engine's collectives cross tr (e.g. a
+// transport.TCP bootstrapped against the job's coordinator) and only
+// localRank's worker executes in this process. Every rank must call it
+// with an identical Task — planning inputs included — so the replicas
+// and the plan agree across processes; pair it with
+// Task.ProfileOverride or Replanner.CalibrateTransport to plan against
+// measured wire speeds instead of the simulated link model.
+func (a *APT) BuildEngineDistributed(k strategy.Kind, tr comm.Transport, localRank int) (*engine.Engine, error) {
+	if !a.planned && a.dryRun == nil {
+		if !a.prepared {
+			if err := a.Prepare(); err != nil {
+				return nil, err
+			}
+		}
+		a.dryRun = &DryRunStats{Freq: a.collectFrequencies()}
+	}
+	mode := engine.Accounting
+	if a.task.Feats != nil {
+		mode = engine.Real
+	}
+	store := a.buildStore(k, a.dryRun.Freq, mode == engine.Real)
+	cfg := a.engineConfig(k, store, mode)
+	cfg.Spans = a.spans
+	cfg.Transport = tr
+	cfg.LocalRank = localRank
+	return engine.New(cfg)
+}
+
 // Result summarizes a Train run.
 type Result struct {
 	Choice          strategy.Kind

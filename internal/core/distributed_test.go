@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/strategy"
+	"repro/internal/transport"
+)
+
+// TestBuildEngineDistributedMatchesInProcess models a 2-rank job the
+// way separate OS processes would run it: each rank constructs its own
+// APT from the identical task, builds its engine with
+// BuildEngineDistributed, and shares nothing with its peer except the
+// transport. The accounting epoch is deterministic, so rank r's
+// per-device counters must equal worker r's counters from a plain
+// in-process run of the same task.
+func TestBuildEngineDistributedMatchesInProcess(t *testing.T) {
+	const world = 2
+	base, err := New(testTask(t, "PS", world, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := base.BuildEngine(strategy.SNP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStats := be.RunEpoch()
+
+	tr := comm.NewChanTransport(world)
+	stats := make([]engine.EpochStats, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			a, err := New(testTask(t, "PS", world, 32))
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			e, err := a.BuildEngineDistributed(strategy.SNP, tr, r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			stats[r] = e.RunEpoch()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < world; r++ {
+		if got, want := stats[r].PerDevice[r], baseStats.PerDevice[r]; !reflect.DeepEqual(got, want) {
+			t.Errorf("rank %d counters diverge from in-process worker %d:\n got  %+v\n want %+v", r, r, got, want)
+		}
+		// A rank process runs only its own worker; the other slots must
+		// stay untouched.
+		for d := 0; d < world; d++ {
+			if d != r && !reflect.DeepEqual(stats[r].PerDevice[d], engine.WorkerStats{}) {
+				t.Errorf("rank %d has counters for foreign worker %d", r, d)
+			}
+		}
+	}
+}
+
+func TestBuildEngineDistributedValidation(t *testing.T) {
+	a, err := New(testTask(t, "PS", 2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.BuildEngineDistributed(strategy.GDP, comm.NewChanTransport(3), 0); err == nil {
+		t.Error("transport world 3 accepted for a 2-device task")
+	}
+	if _, err := a.BuildEngineDistributed(strategy.GDP, comm.NewChanTransport(2), 5); err == nil {
+		t.Error("local rank 5 accepted for world 2")
+	}
+}
+
+// TestCalibrateTransport checks the measured-transport feedback path:
+// after CalibrateTransport the re-planner costs collectives at the
+// measured wire speed, so a drastically slower wire must raise every
+// communication-bound plan cost.
+func TestCalibrateTransport(t *testing.T) {
+	a, err := New(testTask(t, "PS", 2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	devices := a.Task().Platform.NumDevices()
+	cm := &CostModel{Profile: a.Profile(), Devices: devices, IncludeTrain: true}
+	rp := NewReplanner(ReplanConfig{}, cm, a.DryRunStats().PerStrategy, a.DryRunStats().Freq,
+		a.Task().CacheBytes, a.Task().FeatDim, devices, false, Plan{Kind: strategy.SNP})
+
+	before := rp.planCost(Plan{Kind: strategy.SNP})
+
+	// A measured profile as cmd/aptworker would derive it: WireStats
+	// overlaid on the simulated base, here pinned to a pathologically
+	// slow wire so the cost shift is unambiguous.
+	slow := transport.WireStats{
+		AllToAllBps: 1e3, AllGatherBps: 1e3, AllReduceBps: 1e3,
+		AllToAllCallSec: 1e-3, AllGatherCallSec: 1e-3,
+	}.ApplyTo(a.Profile())
+	rp.CalibrateTransport(slow)
+	if cm.Profile != slow {
+		t.Fatal("CalibrateTransport did not swap the cost model's profile")
+	}
+	after := rp.planCost(Plan{Kind: strategy.SNP})
+	if after <= before {
+		t.Fatalf("slow wire did not raise SNP plan cost: before %v, after %v", before, after)
+	}
+
+	rp.CalibrateTransport(nil)
+	if cm.Profile != slow {
+		t.Error("nil profile must be a no-op, not a reset")
+	}
+}

@@ -105,6 +105,18 @@ type Config struct {
 	// text timeline exporters. Nil keeps the hot path allocation-free:
 	// every emission point is a nil *obs.Track no-op.
 	Spans *obs.Collector
+	// Transport, when non-nil, runs the engine distributed: the
+	// collectives cross this fabric (e.g. transport.TCP, one OS process
+	// per rank) instead of in-process channels, and only the worker for
+	// LocalRank runs here. Every rank process must build the engine
+	// from an IDENTICAL Config (same graph, seed, plan, store layout) —
+	// the engine's determinism then guarantees the replicas stay
+	// bit-identical without any parameter broadcast. Aggregated
+	// EpochStats cover only the local worker in this mode.
+	Transport comm.Transport
+	// LocalRank is this process's rank/device ID; consulted only when
+	// Transport is non-nil.
+	LocalRank int
 }
 
 // Engine executes GNN training under one strategy.
@@ -198,8 +210,18 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg}
 	e.Group = device.NewGroup(cfg.Platform)
-	e.Comm = comm.New(e.Group)
 	n := cfg.Platform.NumDevices()
+	if cfg.Transport != nil {
+		if w := cfg.Transport.World(); w != n {
+			return nil, fmt.Errorf("engine: transport world %d != %d devices", w, n)
+		}
+		if cfg.LocalRank < 0 || cfg.LocalRank >= n {
+			return nil, fmt.Errorf("engine: local rank %d outside [0, %d)", cfg.LocalRank, n)
+		}
+		e.Comm = comm.NewWithTransport(e.Group, cfg.Transport)
+	} else {
+		e.Comm = comm.New(e.Group)
+	}
 
 	probe := cfg.NewModel()
 	if probe.NeedsDstInSrc() {
@@ -357,13 +379,22 @@ func (e *Engine) RunEpochContext(ctx context.Context) (EpochStats, error) {
 	}
 	plan := e.seedPlan()
 	nb := plan.NumBatches(e.cfg.BatchSize)
-	comm.RunParallel(len(e.workers), func(dev int) {
+	runWorker := func(dev int) {
 		if e.cfg.Pipeline {
 			e.workerEpochPipelined(ctx, e.workers[dev], plan, nb)
 		} else {
 			e.workerEpoch(ctx, e.workers[dev], plan, nb)
 		}
-	})
+	}
+	if e.cfg.Transport != nil {
+		// Distributed: the other ranks run in their own processes; this
+		// engine instance holds their (identical) replicas but drives only
+		// its own worker. The collectives synchronize across the fabric
+		// exactly as RunParallel's goroutines do in-process.
+		runWorker(e.cfg.LocalRank)
+	} else {
+		comm.RunParallel(len(e.workers), runWorker)
+	}
 	st := e.collectStats(nb)
 	if e.cfg.Spans != nil {
 		// Advance the trace time base by the serialized epoch time: every

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/transport"
+)
+
+// roundTrip pushes a payload through the registered engine codecs and
+// back, as the TCP transport does per frame.
+func roundTrip(t *testing.T, p comm.Payload) comm.Payload {
+	t.Helper()
+	b, err := transport.AppendPayload(nil, p)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := transport.DecodePayload(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestEngineDataCodecs(t *testing.T) {
+	blk := &sample.Block{
+		Dst:     []graph.NodeID{3, 7},
+		Src:     []graph.NodeID{3, 7, 9, 11},
+		EdgePtr: []int64{0, 2, 4},
+		SrcIdx:  []int32{0, 2, 1, 3},
+	}
+	cases := map[string]any{
+		"block":      blk,
+		"snpReq":     &snpRequest{DstIdx: []int32{0, 1}, DstIDs: []graph.NodeID{5, 6}, EdgePtr: []int64{0, 1, 3}, SrcIDs: []graph.NodeID{9, 10, 11}},
+		"snpReqNil":  (*snpRequest)(nil),
+		"snpGatReq":  &snpGatRequest{SrcIDs: []graph.NodeID{1, 2, 3}},
+		"dnpReq":     &dnpRequest{DstIdx: []int32{4}, DstIDs: []graph.NodeID{8}, EdgePtr: []int64{0, 2}, SrcIDs: []graph.NodeID{1, 2}},
+		"dnpReqNil":  (*dnpRequest)(nil),
+		"blockEmpty": &sample.Block{EdgePtr: []int64{0}},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			got := roundTrip(t, comm.Payload{Data: data, Bytes: 99})
+			if got.Bytes != 99 {
+				t.Fatalf("Bytes changed: %d", got.Bytes)
+			}
+			if !reflect.DeepEqual(got.Data, data) {
+				t.Fatalf("data changed:\n sent %#v\n got  %#v", data, got.Data)
+			}
+			// The decoded value must keep the sender's concrete type: the
+			// strategy runners type-assert on receive, and a typed nil must
+			// stay a typed nil of the same type.
+			if reflect.TypeOf(got.Data) != reflect.TypeOf(data) {
+				t.Fatalf("type changed: %T -> %T", data, got.Data)
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+// Package transport implements the multi-process distributed runtime:
+// a comm.Transport backend where every rank of the collective group is
+// a separate OS process and payloads cross real TCP sockets, plus the
+// deterministic wire-format codecs, the rank/world rendezvous
+// bootstrap, and wall-clock wire measurement for planner calibration.
+//
+// The pieces (DESIGN.md decision 16):
+//
+//   - wire.go: versioned little-endian codecs for comm.Payload and
+//     tensor.Matrix, with a registry for the engine's opaque
+//     Payload.Data types (golden- and fuzz-tested; truncated and
+//     oversized frames are rejected with typed errors).
+//   - bootstrap.go: torch.distributed-style tcp:// rendezvous — rank 0
+//     listens on the coordinator address, every rank registers its data
+//     listener, the coordinator broadcasts the address table, then the
+//     ranks dial a full mesh (higher rank dials lower).
+//   - tcp.go: the TCP transport itself — one duplex connection per
+//     rank pair, length-prefixed frames, a writer and a reader
+//     goroutine per peer so the collectives' send-all-then-receive-all
+//     pattern can never deadlock on socket buffers.
+//   - measure.go: bandwidth/latency trials over the live transport,
+//     producing a comm.Profile so the planner and the online
+//     re-planner cost strategies against observed wire speeds instead
+//     of the simulated link model.
+//
+// Determinism: the wire carries exactly the values the in-process
+// channel backend moves by reference, every rank performs the same
+// arithmetic in the same order on them, and the transport's only
+// wall-clock use is connection management and explicit measurement —
+// so real-mode training over TCP is bit-identical to the in-process
+// engine (asserted per strategy by the engine's distributed tests).
+package transport
