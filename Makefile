@@ -24,15 +24,16 @@ ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|GatherMatMulQu
 
 # verify is the pre-merge gate: lint (vet + aptlint) + build everything
 # (including the serving daemon), run the concurrency-heavy packages
-# (pipelined engine, pooled kernels, inference server, span/metrics
-# collection, comm ledger, device clocks, and the TCP transport's
-# loopback collective tests) under the race detector, then hold the
-# fused kernels to zero steady-state allocations.
+# (pipelined engine, pooled kernels, inference server — including the
+# blue/green reload path, span/metrics collection, comm ledger, device
+# clocks, the TCP transport's loopback collective tests, and the
+# checkpoint codec) under the race detector, then hold the fused
+# kernels to zero steady-state allocations.
 verify: lint
 	$(GO) run ./cmd/aptlint -audit
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
-	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/... ./internal/transport/...
+	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/... ./internal/transport/... ./internal/checkpoint/...
 	$(GO) test -run XXX -bench $(ALLOC_FREE_KERNELS) -benchmem -benchtime 50x ./internal/tensor/ \
 		| awk '/^Benchmark/ { if ($$(NF-1)+0 != 0) { print "FAIL (allocs/op != 0):", $$0; bad=1 } } END { exit bad }'
 

@@ -5,17 +5,22 @@ package repro
 // "repro" directly (Go's internal/ rule restricts import paths, not
 // type identity). The surface is structured by concern:
 //
-//	apt.go     — the core system: tasks, planning, training
-//	data.go    — graphs, datasets, platforms, partitioning
-//	serving.go — online inference serving
-//	observe.go — observability: spans, metrics, Chrome traces
+//	apt.go        — the core system: tasks, planning, training
+//	data.go       — graphs, datasets, platforms, partitioning
+//	checkpoint.go — snapshots: checkpoint, resume, crash recovery
+//	serving.go    — online inference serving, model hot-swap
+//	observe.go    — observability: spans, metrics, Chrome traces
+//	options.go    — the shared functional Option type
 //
-// The facade mirrors how a user of the paper's system interacts with
-// it: describe a task, let APT plan, train, observe.
+// The facade mirrors the lifecycle of a training job under the
+// paper's system: describe a task, let APT plan, train, snapshot,
+// serve — and, because the snapshot is the whole training state,
+// resume any of it after a crash or onto different hardware.
 //
 //	task := repro.Task{ Graph: g, NewModel: ..., Platform: repro.SingleMachine8GPU(), ... }
-//	apt, err := repro.NewAPT(task, repro.WithTracePath("run.json"))
-//	result, err := apt.Train(10)
+//	apt, err := repro.NewAPT(task, repro.WithCheckpointDir(dir))
+//	result, err := apt.Train(10)   // rolling snapshot every epoch
+//	srv, err := repro.Serve(cfg, repro.WithReload(dir+"/"+repro.SnapshotName))
 
 import (
 	"repro/internal/core"
@@ -75,11 +80,20 @@ const (
 	FullGraphAccounting = fullgraph.Accounting
 )
 
+// NewAPT validates a task and creates the system. Options attach
+// observers (WithObserver, WithTracePath) and configure rolling
+// checkpoints (WithCheckpointDir, WithCheckpointEvery).
+func NewAPT(task Task, opts ...Option) (*APT, error) {
+	a, err := core.New(task, obsOf(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	applyAPT(a, opts)
+	return a, nil
+}
+
 // Constructors and entry points of the core system.
 var (
-	// NewAPT validates a task and creates the system. Observability
-	// options (WithObserver, WithTracePath) attach observers to the run.
-	NewAPT = core.New
 	// NewGraphSAGE and NewGAT build the paper's evaluation models.
 	NewGraphSAGE = nn.NewGraphSAGE
 	NewGAT       = nn.NewGAT

@@ -128,8 +128,11 @@ func main() {
 		fmt.Print(engine.FormatTimeline(lastStats.Timeline))
 	}
 	if *save != "" {
-		fatal(eng.Model(0).SaveFile(*save))
-		fmt.Printf("model checkpoint written to %s\n", *save)
+		// A full training snapshot (params + optimizer moments + RNG
+		// cursors), so the run can be resumed or served; aptserve's
+		// -checkpoint flag accepts it directly.
+		fatal(apt.CheckpointFile(*save))
+		fmt.Printf("training snapshot written to %s\n", *save)
 	}
 	if *tracePth != "" {
 		fatal(obs.WriteChromeTraceFile(*tracePth, apt.Spans()))

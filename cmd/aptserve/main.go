@@ -13,6 +13,12 @@
 //	curl -s localhost:8399/metrics   # text exposition format
 //	curl -s localhost:8399/healthz
 //
+// A running daemon hot-swaps its model without dropping requests when
+// the checkpoint file is rewritten (e.g. by a fresh aptrun) and either
+// `curl -X POST localhost:8399/reload` or SIGHUP arrives. -checkpoint
+// accepts both raw aptrun parameter files and full training snapshots
+// written by the checkpoint facade.
+//
 // Or train in-process and benchmark the serving path:
 //
 //	aptserve -data FS -train-epochs 3 -loadgen -requests 2000 -concurrency 64
@@ -31,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -99,7 +106,7 @@ func main() {
 	m := newModel()
 	var freq []int64
 	if *ckpt != "" {
-		fatal(m.LoadFile(*ckpt))
+		fatal(checkpoint.LoadModelInto(m, *ckpt))
 		fmt.Printf("loaded checkpoint %s (%d params)\n", *ckpt, m.NumParamElements())
 	} else {
 		task := core.Task{
@@ -128,6 +135,8 @@ func main() {
 		MaxBatch: *maxB, MaxDelay: *maxD,
 		CacheBytes: ds.CacheBytesFraction(*cacheFr),
 		Seed:       11,
+		NewModel:   newModel,
+		ReloadPath: *ckpt,
 	}
 	if freq != nil {
 		cfg.Freq = freq // enables the hotness cache policy
@@ -248,14 +257,37 @@ func serveHTTP(srv *serve.Server, addr string) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := srv.ReloadCheckpoint(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"model_version\":%d}\n", srv.ModelVersion())
+	})
 
 	hs := &http.Server{Addr: addr, Handler: mux}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+		for s := range sig {
+			if s == syscall.SIGHUP {
+				// Hot-swap from the checkpoint file, keep serving.
+				if err := srv.ReloadCheckpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "aptserve: reload:", err)
+				} else {
+					fmt.Printf("reloaded checkpoint (model version %d)\n", srv.ModelVersion())
+				}
+				continue
+			}
+			break
+		}
 		fmt.Println("\nshutting down...")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

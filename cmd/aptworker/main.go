@@ -16,6 +16,16 @@
 // startup and plans against the measured wire speeds (the WireStats
 // cross-rank maximum keeps every rank's plan identical); otherwise
 // planning uses the simulated hardware profile.
+//
+// Fault tolerance: with -ckpt-dir, rank 0 writes a rolling training
+// snapshot after every epoch. If the job dies, relaunching every rank
+// with the same flags plus -resume continues from the last snapshot —
+// bit-identically when the world size is unchanged (the checksums
+// match an uninterrupted run), or elastically onto a different world
+// size (parameters and optimizer state carry over, the plan is
+// recomputed). -die-after n crashes the rank after epoch n to
+// exercise this path. -epochs counts TOTAL epochs: a job resumed at
+// epoch 2 with -epochs 5 trains 3 more.
 package main
 
 import (
@@ -25,8 +35,10 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -55,6 +67,9 @@ func main() {
 		lr          = flag.Float64("lr", 0.01, "Adam learning rate")
 		pinned      = flag.String("strategy", "", "pin a strategy (GDP/NFP/SNP/DNP) instead of planning")
 		measureWire = flag.Bool("measure-wire", false, "calibrate the planner against measured collective wire speeds")
+		ckptDir     = flag.String("ckpt-dir", "", "rank 0 writes a rolling training snapshot here after every epoch")
+		resume      = flag.Bool("resume", false, "resume from the snapshot in -ckpt-dir instead of starting fresh")
+		dieAfter    = flag.Int("die-after", 0, "simulate a crash (exit 3) after this many total completed epochs")
 	)
 	flag.Parse()
 
@@ -101,8 +116,25 @@ func main() {
 			ws.AllToAllBps, ws.AllGatherBps, ws.AllReduceBps)
 	}
 
-	apt, err := core.New(task)
-	fatal(err)
+	snapPath := ""
+	if *ckptDir != "" {
+		snapPath = filepath.Join(*ckptDir, checkpoint.DefaultName)
+	}
+	var apt *core.APT
+	if *resume {
+		if snapPath == "" {
+			fatal(fmt.Errorf("-resume requires -ckpt-dir"))
+		}
+		// Every rank restores the identical snapshot, exactly as every
+		// rank rebuilds the identical task: resumed state is
+		// configuration, so it never crosses the wire.
+		apt, err = core.ResumeFile(task, snapPath)
+		fatal(err)
+		logf(*rank, "resuming from %s after %d epoch(s)", snapPath, apt.EpochBase())
+	} else {
+		apt, err = core.New(task)
+		fatal(err)
+	}
 	choice := strategy.SNP
 	if *pinned != "" {
 		choice, err = strategy.Parse(*pinned)
@@ -118,7 +150,8 @@ func main() {
 
 	eng, err := apt.BuildEngineDistributed(choice, tr, *rank)
 	fatal(err)
-	for ep := 1; ep <= *epochs; ep++ {
+	fatal(apt.ApplyResume(eng))
+	for ep := apt.EpochBase() + 1; ep <= *epochs; ep++ {
 		//apt:allow simclock CLI progress reporting; the wall epoch time is the quantity a distributed run exists to improve
 		start := time.Now()
 		st := eng.RunEpoch()
@@ -127,6 +160,27 @@ func main() {
 		wall := time.Since(start).Seconds()
 		logf(*rank, "epoch %2d  wall %.3fs  sim %.4fs  loss %.4f",
 			ep, wall, st.EpochTime(), st.MeanLoss)
+		if snapPath != "" {
+			// Snapshot building is collective (the sampler cursors are
+			// exchanged across ranks), so every rank enters it; the
+			// replicas are synchronized, so every rank holds the same
+			// snapshot and rank 0 persists it.
+			snap, err := apt.Snapshot()
+			fatal(err)
+			if *rank == 0 {
+				fatal(snap.WriteFile(snapPath))
+			}
+		}
+		if *dieAfter > 0 && ep >= *dieAfter {
+			// Every rank gets the same -die-after, so the whole job dies
+			// at the same epoch boundary — rank 0 has just written the
+			// snapshot the relaunch will resume from. Close drains the
+			// writer goroutines so the snapshot collective's payloads
+			// reach the peers before this process disappears.
+			logf(*rank, "simulated crash after epoch %d", ep)
+			tr.Close()
+			os.Exit(3)
+		}
 	}
 	fatal(tr.Close())
 	// The checksum covers this rank's trained replica bit-for-bit; the

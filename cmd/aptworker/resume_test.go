@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Process-level fault-tolerance smoke: build the real binary, run a
+// 2-rank job to completion, run it again but crash both ranks after
+// epoch 2, resume from the snapshot, and require the resumed job's
+// parameter checksums to equal the uninterrupted run's — the whole
+// crash-recovery path, across OS processes, bit-for-bit.
+
+var checksumRe = regexp.MustCompile(`params fnv64a ([0-9a-f]{16})`)
+
+// buildWorker compiles the aptworker binary once per test run.
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aptworker")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a distinct loopback port for one job's rendezvous.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// runJob launches one rank per process with shared flags and returns
+// each rank's combined output plus exit code.
+func runJob(t *testing.T, bin string, world int, extra ...string) (outs []string, codes []int) {
+	t.Helper()
+	coord := freeAddr(t)
+	outs = make([]string, world)
+	codes = make([]int, world)
+	shared := []string{
+		"-world", fmt.Sprint(world), "-coord", coord,
+		"-data", "PS", "-scale", "0.05", "-hidden", "8", "-fanout", "5",
+		"-batch", "64", "-epochs", "4", "-strategy", "GDP",
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			args := append([]string{"-rank", fmt.Sprint(r)}, shared...)
+			args = append(args, extra...)
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			outs[r] = string(out)
+			if ee, ok := err.(*exec.ExitError); ok {
+				codes[r] = ee.ExitCode()
+			} else if err != nil {
+				codes[r] = -1
+				outs[r] += "\nexec: " + err.Error()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return outs, codes
+}
+
+// checksums extracts the per-rank parameter checksum lines.
+func checksums(t *testing.T, outs []string) []string {
+	t.Helper()
+	sums := make([]string, len(outs))
+	for r, out := range outs {
+		m := checksumRe.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("rank %d printed no checksum:\n%s", r, out)
+		}
+		sums[r] = m[1]
+	}
+	return sums
+}
+
+func TestCrashAndResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildWorker(t)
+	dir := t.TempDir()
+
+	// Uninterrupted baseline.
+	outs, codes := runJob(t, bin, 2)
+	for r, c := range codes {
+		if c != 0 {
+			t.Fatalf("baseline rank %d exited %d:\n%s", r, c, outs[r])
+		}
+	}
+	want := checksums(t, outs)
+	if want[0] != want[1] {
+		t.Fatalf("baseline ranks disagree: %s vs %s", want[0], want[1])
+	}
+
+	// Same job, crashing both ranks after epoch 2. The collective
+	// snapshot is a barrier, so both reach the simulated crash.
+	outs, codes = runJob(t, bin, 2, "-ckpt-dir", dir, "-die-after", "2")
+	for r, c := range codes {
+		if c != 3 {
+			t.Fatalf("crash-run rank %d exited %d, want 3:\n%s", r, c, outs[r])
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.aptc")); err != nil {
+		t.Fatalf("crash run left no snapshot: %v", err)
+	}
+
+	// Relaunch with -resume: must finish the remaining epochs and land
+	// on exactly the baseline parameters.
+	outs, codes = runJob(t, bin, 2, "-ckpt-dir", dir, "-resume")
+	for r, c := range codes {
+		if c != 0 {
+			t.Fatalf("resumed rank %d exited %d:\n%s", r, c, outs[r])
+		}
+		if !strings.Contains(outs[r], "resuming from") {
+			t.Fatalf("rank %d did not take the resume path:\n%s", r, outs[r])
+		}
+	}
+	got := checksums(t, outs)
+	for r := range got {
+		if got[r] != want[r] {
+			t.Errorf("rank %d: resumed checksum %s != baseline %s", r, got[r], want[r])
+		}
+	}
+}

@@ -18,4 +18,21 @@ var v = 1 //apt:hotpath // want "must sit in a function declaration"
 //apt:allow simclock a complete, audited suppression
 func wellFormed() {}
 
-func use() { _, _, _ = x, y, v }
+// snapState is checkpointed state: type-declaration doc comments may
+// carry the marker.
+//
+//apt:snapshot
+type snapState struct {
+	// Cursor must round-trip exactly: struct-field doc comments may
+	// carry the marker too.
+	//
+	//apt:snapshot
+	Cursor uint64
+}
+
+//apt:snapshot // want "must sit in a type declaration's or struct field's doc comment"
+func notState() {}
+
+var w = 1 //apt:snapshot // want "must sit in a type declaration's or struct field's doc comment"
+
+func use() { _, _, _, _ = x, y, v, w }

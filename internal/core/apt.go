@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -43,6 +44,22 @@ type APT struct {
 	// int8Frac is the live warm-tier split used by buildStore. It
 	// starts at Task.Int8CacheFrac and is resized by the re-planner.
 	int8Frac float64
+
+	// CheckpointDir, when non-empty, makes Train write a rolling
+	// snapshot (checkpoint.DefaultName inside the directory) at every
+	// CheckpointEvery-th epoch boundary; 0 means every epoch. The
+	// directory must exist.
+	CheckpointDir   string
+	CheckpointEvery int
+
+	// Checkpoint/resume state: the most recently built engine and its
+	// strategy (what Checkpoint snapshots), the completed-epoch base
+	// carried across engine rebuilds and resumes, and the snapshot a
+	// Resume'd APT still has to apply to its first engine.
+	lastEngine *engine.Engine
+	lastKind   strategy.Kind
+	epochBase  int
+	resume     *checkpoint.Snapshot
 
 	// Observability: reg always exists (epoch metrics fold into it);
 	// spans is created only when an option asked for span collection.
@@ -111,9 +128,15 @@ func (a *APT) Prepare() error {
 }
 
 // Plan runs the dry-run and cost models and selects the strategy.
+// Planning is idempotent: once a plan exists — computed here or
+// adopted from a snapshot by Resume — Plan returns it without
+// re-running the dry-run.
 //
 //apt:allow simclock PlanWallSeconds reports real planner overhead (Table 4); the simulated clock only covers training
 func (a *APT) Plan() (strategy.Kind, error) {
+	if a.planned {
+		return a.Choice, nil
+	}
 	if !a.prepared {
 		if err := a.Prepare(); err != nil {
 			return 0, err
@@ -272,7 +295,12 @@ func (a *APT) BuildEngine(k strategy.Kind) (*engine.Engine, error) {
 	store := a.buildStore(k, a.dryRun.Freq, mode == engine.Real)
 	cfg := a.engineConfig(k, store, mode)
 	cfg.Spans = a.spans
-	return engine.New(cfg)
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.lastEngine, a.lastKind = e, k
+	return e, nil
 }
 
 // BuildEngineDistributed is BuildEngine for one rank of a
@@ -301,7 +329,12 @@ func (a *APT) BuildEngineDistributed(k strategy.Kind, tr comm.Transport, localRa
 	cfg.Spans = a.spans
 	cfg.Transport = tr
 	cfg.LocalRank = localRank
-	return engine.New(cfg)
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.lastEngine, a.lastKind = e, k
+	return e, nil
 }
 
 // Result summarizes a Train run.
@@ -359,9 +392,17 @@ func (a *APT) TrainWith(k strategy.Kind, epochs int) (*Result, error) {
 // run — completion or cancellation — the observability options flush:
 // the Chrome trace file is written and any observer sees the span
 // tracks and metrics collected so far.
+//
+// epochs counts total completed epochs for the experiment: on a fresh
+// APT that is simply the number of epochs to run, on a Resume'd one
+// the snapshot's completed epochs count toward it. With CheckpointDir
+// set, a rolling snapshot is written at the configured epoch cadence.
 func (a *APT) TrainWithContext(ctx context.Context, k strategy.Kind, epochs int) (*Result, error) {
 	e, err := a.BuildEngine(k)
 	if err != nil {
+		return nil, err
+	}
+	if err := a.consumeResume(e); err != nil {
 		return nil, err
 	}
 	res := &Result{
@@ -370,7 +411,7 @@ func (a *APT) TrainWithContext(ctx context.Context, k strategy.Kind, epochs int)
 		PlanWallSeconds: a.PlanWallSeconds,
 	}
 	var runErr error
-	for i := 0; i < epochs; i++ {
+	for a.epochBase+e.EpochsRun() < epochs {
 		st, err := e.RunEpochContext(ctx)
 		engine.RecordEpochMetrics(a.reg, st)
 		if err != nil {
@@ -378,6 +419,10 @@ func (a *APT) TrainWithContext(ctx context.Context, k strategy.Kind, epochs int)
 			break
 		}
 		res.Epochs = append(res.Epochs, st)
+		if err := a.maybeCheckpoint(e, k); err != nil {
+			runErr = err
+			break
+		}
 	}
 	res.Model = e.Model(0)
 	if err := a.obsO.Flush(a.spans, a.reg); err != nil && runErr == nil {

@@ -356,9 +356,12 @@ func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanC
 	if _, err := a.Plan(); err != nil {
 		return nil, err
 	}
-	cur := Plan{Kind: a.Choice, PipelineDepth: a.task.PipelineDepth, Int8Frac: a.task.Int8CacheFrac}
+	cur := Plan{Kind: a.Choice, PipelineDepth: a.task.PipelineDepth, Int8Frac: a.int8Frac}
 	e, err := a.BuildEngine(cur.Kind)
 	if err != nil {
+		return nil, err
+	}
+	if err := a.consumeResume(e); err != nil {
 		return nil, err
 	}
 	devices := a.task.Platform.NumDevices()
@@ -371,7 +374,7 @@ func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanC
 		PlanWallSeconds: a.PlanWallSeconds,
 	}
 	var runErr error
-	for i := 0; i < epochs; i++ {
+	for a.epochBase+e.EpochsRun() < epochs {
 		st, err := e.RunEpochContext(ctx)
 		engine.RecordEpochMetrics(a.reg, st)
 		if err != nil {
@@ -379,12 +382,17 @@ func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanC
 			break
 		}
 		res.Epochs = append(res.Epochs, st)
-		if i == epochs-1 {
+		done := a.epochBase + e.EpochsRun()
+		if err := a.maybeCheckpoint(e, cur.Kind); err != nil {
+			runErr = err
+			break
+		}
+		if done >= epochs {
 			break
 		}
 		// The measured stage times come back out of the obs registry —
 		// the same apt_engine_* gauges any external observer sees.
-		next, switched := rp.Observe(i, MeasuredStages(a.reg))
+		next, switched := rp.Observe(done-1, MeasuredStages(a.reg))
 		if !switched {
 			continue
 		}
@@ -398,6 +406,9 @@ func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanC
 		}
 		trained := e.Model(0)
 		a.int8Frac = next.Int8Frac
+		// Completed epochs move into the base across the rebuild, so
+		// the epoch counter (and any snapshot of it) spans engines.
+		a.epochBase = done
 		e2, err := a.BuildEngine(next.Kind)
 		if err != nil {
 			runErr = err

@@ -134,6 +134,9 @@ type Engine struct {
 	// previous epochs, so a multi-epoch trace reads as one timeline
 	// (device clocks reset every epoch).
 	spanBase float64
+	// epochsRun counts epochs completed in full (cancelled epochs are
+	// excluded); see EpochsRun.
+	epochsRun int
 }
 
 // layer1Runner executes the strategy-specific first layer.
@@ -396,6 +399,9 @@ func (e *Engine) RunEpochContext(ctx context.Context) (EpochStats, error) {
 		comm.RunParallel(len(e.workers), runWorker)
 	}
 	st := e.collectStats(nb)
+	if ctx.Err() == nil {
+		e.epochsRun++
+	}
 	if e.cfg.Spans != nil {
 		// Advance the trace time base by the serialized epoch time: every
 		// device's per-epoch clock is bounded by it, so epochs never

@@ -94,6 +94,24 @@ func (r *RNG) NormFloat32() float32 {
 	}
 }
 
+// State returns the generator's xoshiro256** state words — its exact
+// position in the random stream. Together with SetState it lets a
+// checkpoint capture and restore the stream so a resumed run draws the
+// identical continuation (see internal/checkpoint).
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState repositions the generator at a state captured by State. The
+// all-zero state is xoshiro's degenerate fixed point (the stream would
+// be constant zero); NewRNG can never produce it, so SetState rejects
+// it by leaving the generator untouched and returning false.
+func (r *RNG) SetState(s [4]uint64) bool {
+	if s == ([4]uint64{}) {
+		return false
+	}
+	r.s = s
+	return true
+}
+
 // Split derives an independent generator; convenient for handing one
 // stream per worker without sharing mutable state.
 func (r *RNG) Split() *RNG {

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -11,6 +12,41 @@ type Optimizer interface {
 	// Step applies one update and leaves gradients untouched (callers
 	// zero them explicitly between iterations).
 	Step(params []*Param)
+}
+
+// OptState is a serializable snapshot of an optimizer's internal state.
+// Moment vectors are keyed positionally by the params slice handed to
+// State/Restore (always Model.Params() order); a nil slice means the
+// optimizer had not yet materialized that parameter's moments — lazily
+// initialized optimizers must round-trip that distinction exactly, or
+// a restored run would diverge from the original on the first step.
+//
+//apt:snapshot
+type OptState struct {
+	// Kind names the optimizer family ("sgd", "adam"); Restore rejects
+	// a snapshot from a different family.
+	Kind string
+	// Step is Adam's bias-correction step count (0 for SGD).
+	Step int64
+	// M holds the first-moment (or momentum-velocity) vector per
+	// parameter, flattened row-major.
+	M [][]float32
+	// V holds Adam's second-moment vector per parameter (nil for SGD).
+	V [][]float32
+}
+
+// StatefulOptimizer is an Optimizer whose internal state can be
+// captured into an OptState and restored bit-identically — the
+// contract checkpoint/resume builds on. Both built-in optimizers
+// implement it; a custom Optimizer that does not is checkpointed
+// without state and restarts cold on resume.
+type StatefulOptimizer interface {
+	Optimizer
+	// State snapshots the optimizer; params fixes the moment order.
+	State(params []*Param) OptState
+	// Restore installs a snapshot captured by State over the same
+	// parameter list (same count and shapes).
+	Restore(params []*Param, st OptState) error
 }
 
 // SGD is stochastic gradient descent with optional momentum.
@@ -45,6 +81,44 @@ func (o *SGD) Step(params []*Param) {
 	}
 }
 
+// State implements StatefulOptimizer: Kind "sgd", Step 0, and one
+// velocity vector per parameter (nil where momentum never
+// materialized one).
+func (o *SGD) State(params []*Param) OptState {
+	st := OptState{Kind: "sgd", M: make([][]float32, len(params))}
+	for i, p := range params {
+		if v := o.velocity[p]; v != nil {
+			st.M[i] = append([]float32(nil), v.Data...)
+		}
+	}
+	return st
+}
+
+// Restore implements StatefulOptimizer.
+func (o *SGD) Restore(params []*Param, st OptState) error {
+	if st.Kind != "sgd" {
+		return fmt.Errorf("nn: restoring %q state into SGD", st.Kind)
+	}
+	if len(st.M) != len(params) {
+		return fmt.Errorf("nn: sgd state has %d moment slots, model has %d params", len(st.M), len(params))
+	}
+	vel := make(map[*Param]*tensor.Matrix, len(params))
+	for i, p := range params {
+		if st.M[i] == nil {
+			continue
+		}
+		if len(st.M[i]) != p.W.Rows*p.W.Cols {
+			return fmt.Errorf("nn: sgd velocity %d has %d elements, param %s has %d",
+				i, len(st.M[i]), p.Name, p.W.Rows*p.W.Cols)
+		}
+		v := tensor.New(p.W.Rows, p.W.Cols)
+		copy(v.Data, st.M[i])
+		vel[p] = v
+	}
+	o.velocity = vel
+	return nil
+}
+
 // Adam implements the Adam optimizer with bias correction.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float32
@@ -58,6 +132,61 @@ func NewAdam(lr float32) *Adam {
 		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
 		m: map[*Param]*tensor.Matrix{}, v: map[*Param]*tensor.Matrix{},
 	}
+}
+
+// State implements StatefulOptimizer: the bias-correction step count
+// and both moment vectors per parameter (nil before the first Step
+// touched that parameter).
+func (a *Adam) State(params []*Param) OptState {
+	st := OptState{
+		Kind: "adam", Step: int64(a.t),
+		M: make([][]float32, len(params)),
+		V: make([][]float32, len(params)),
+	}
+	for i, p := range params {
+		if m := a.m[p]; m != nil {
+			st.M[i] = append([]float32(nil), m.Data...)
+			st.V[i] = append([]float32(nil), a.v[p].Data...)
+		}
+	}
+	return st
+}
+
+// Restore implements StatefulOptimizer.
+func (a *Adam) Restore(params []*Param, st OptState) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("nn: restoring %q state into Adam", st.Kind)
+	}
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam state has %d/%d moment slots, model has %d params",
+			len(st.M), len(st.V), len(params))
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("nn: adam state has negative step %d", st.Step)
+	}
+	m := make(map[*Param]*tensor.Matrix, len(params))
+	v := make(map[*Param]*tensor.Matrix, len(params))
+	for i, p := range params {
+		if (st.M[i] == nil) != (st.V[i] == nil) {
+			return fmt.Errorf("nn: adam moments for param %d present in only one of m/v", i)
+		}
+		if st.M[i] == nil {
+			continue
+		}
+		want := p.W.Rows * p.W.Cols
+		if len(st.M[i]) != want || len(st.V[i]) != want {
+			return fmt.Errorf("nn: adam moments %d have %d/%d elements, param %s has %d",
+				i, len(st.M[i]), len(st.V[i]), p.Name, want)
+		}
+		mm := tensor.New(p.W.Rows, p.W.Cols)
+		vv := tensor.New(p.W.Rows, p.W.Cols)
+		copy(mm.Data, st.M[i])
+		copy(vv.Data, st.V[i])
+		m[p], v[p] = mm, vv
+	}
+	a.t = int(st.Step)
+	a.m, a.v = m, v
+	return nil
 }
 
 // Step implements Optimizer.

@@ -11,28 +11,42 @@ import (
 // Binary checkpoint format for model parameters:
 //
 //	magic   uint32 "APTM"
-//	version uint32 1
+//	version uint32 2
+//	nameLen uint32, name        (version >= 2: the model family name)
 //	count   uint32
 //	per parameter: nameLen uint32, name, rows uint32, cols uint32, data
 //
 // Only parameter values are stored; architecture is reconstructed by
 // the caller's model factory, and LoadParams checks that names and
-// shapes match.
+// shapes match. Version 1 files (no model name) still load; the
+// family check is then carried only by the per-parameter names.
+// LoadParams reads exactly one checkpoint and rejects trailing bytes,
+// so a concatenated or padded file cannot load silently.
 
 const (
 	modelMagic   = 0x4150544d // "APTM"
-	modelVersion = 1
+	modelVersion = 2
 )
 
 // SaveParams writes all parameter values to w.
 func (m *Model) SaveParams(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	params := m.Params()
-	hdr := []uint32{modelMagic, modelVersion, uint32(len(params))}
+	hdr := []uint32{modelMagic, modelVersion}
 	for _, h := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 			return fmt.Errorf("nn: save header: %w", err)
 		}
+	}
+	modelName := []byte(m.Name)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(modelName))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(modelName); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: save header: %w", err)
 	}
 	for _, p := range params {
 		name := []byte(p.Name)
@@ -59,7 +73,7 @@ func (m *Model) SaveParams(w io.Writer) error {
 // model, validating names and shapes.
 func (m *Model) LoadParams(r io.Reader) error {
 	br := bufio.NewReader(r)
-	var hdr [3]uint32
+	var hdr [2]uint32
 	for i := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
 			return fmt.Errorf("nn: load header: %w", err)
@@ -68,12 +82,32 @@ func (m *Model) LoadParams(r io.Reader) error {
 	if hdr[0] != modelMagic {
 		return fmt.Errorf("nn: bad checkpoint magic %#x", hdr[0])
 	}
-	if hdr[1] != modelVersion {
+	if hdr[1] != 1 && hdr[1] != modelVersion {
 		return fmt.Errorf("nn: unsupported checkpoint version %d", hdr[1])
 	}
+	if hdr[1] >= 2 {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("nn: load header: %w", err)
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: absurd model name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("nn: load header: %w", err)
+		}
+		if string(name) != m.Name {
+			return fmt.Errorf("nn: checkpoint is a %q model, this model is %q", name, m.Name)
+		}
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: load header: %w", err)
+	}
 	params := m.Params()
-	if int(hdr[2]) != len(params) {
-		return fmt.Errorf("nn: checkpoint has %d params, model has %d", hdr[2], len(params))
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", count, len(params))
 	}
 	for _, p := range params {
 		var nameLen uint32
@@ -104,6 +138,14 @@ func (m *Model) LoadParams(r io.Reader) error {
 		if err := binary.Read(br, binary.LittleEndian, &p.W.Data); err != nil {
 			return fmt.Errorf("nn: load %s: %w", p.Name, err)
 		}
+	}
+	// Exactly one checkpoint: anything after the last parameter means a
+	// concatenated or corrupt file, which must not load silently.
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return fmt.Errorf("nn: after last param: %w", err)
+		}
+		return fmt.Errorf("nn: trailing bytes after last parameter")
 	}
 	return nil
 }

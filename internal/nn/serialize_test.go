@@ -48,6 +48,48 @@ func TestLoadRejectsMismatchedArchitecture(t *testing.T) {
 	}
 }
 
+func TestLoadRejectsTrailingBytes(t *testing.T) {
+	m := NewGraphSAGE(8, 16, 4, 2)
+	m.Init(graph.NewRNG(1))
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]byte{{0}, bytes.Repeat([]byte{0xab}, 17), buf.Bytes()} {
+		data := append(append([]byte(nil), buf.Bytes()...), extra...)
+		m2 := NewGraphSAGE(8, 16, 4, 2)
+		if err := m2.LoadParams(bytes.NewReader(data)); err == nil {
+			t.Errorf("accepted checkpoint with %d trailing bytes", len(extra))
+		}
+	}
+}
+
+func TestLoadAcceptsVersion1(t *testing.T) {
+	// A version-1 file is the version-2 layout minus the model-name
+	// field: rewrite the header of a fresh save to the old version.
+	m := NewGraphSAGE(8, 16, 4, 2)
+	m.Init(graph.NewRNG(1))
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	nameLen := int(uint32(v2[8]) | uint32(v2[9])<<8 | uint32(v2[10])<<16 | uint32(v2[11])<<24)
+	v1 := append([]byte(nil), v2[:8]...)
+	v1[4] = 1 // version
+	v1 = append(v1, v2[12+nameLen:]...)
+	m2 := NewGraphSAGE(8, 16, 4, 2)
+	if err := m2.LoadParams(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("version-1 checkpoint rejected: %v", err)
+	}
+	p1, p2 := m.Params(), m2.Params()
+	for i := range p1 {
+		if p1[i].W.MaxAbsDiff(p2[i].W) != 0 {
+			t.Fatalf("param %d differs after v1 round trip", i)
+		}
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	m := NewGraphSAGE(4, 4, 2, 1)
 	if err := m.LoadParams(bytes.NewReader(make([]byte, 64))); err == nil {

@@ -86,6 +86,18 @@ func NewSampler(g *graph.Graph, cfg Config, rng *graph.RNG) *Sampler {
 	return s
 }
 
+// RNGState returns the sampler's RNG stream position for
+// checkpointing. The stamp/generation scratch is deliberately NOT part
+// of the state: it only encodes set membership within one Sample call
+// and never influences which nodes are drawn, so a fresh sampler with
+// the same RNG state produces identical batches.
+func (s *Sampler) RNGState() [4]uint64 { return s.rng.State() }
+
+// SetRNGState repositions the sampler's RNG at a state captured by
+// RNGState; it reports false (and changes nothing) for the degenerate
+// all-zero state.
+func (s *Sampler) SetRNGState(st [4]uint64) bool { return s.rng.SetState(st) }
+
 // nextSrcGen advances the dedup generation, clearing the scratch on
 // the (practically unreachable) int32 wraparound.
 func (s *Sampler) nextSrcGen() int32 {

@@ -18,19 +18,27 @@ import (
 // touching the timer, which is what amortizes sampling and feature
 // loading across requests.
 
-// worker drives one inference worker until the request channel closes.
-func (s *Server) worker(w *engine.InferWorker) {
+// worker drives one inference worker until the request channel closes
+// (shutdown) or quit closes (this worker's generation was retired by a
+// model reload). A batch claimed before either signal still executes
+// to completion on this generation's model — retirement never drops a
+// request.
+func (s *Server) worker(w *engine.InferWorker, quit chan struct{}) {
 	defer s.wg.Done()
 	rs := sample.NewRequestSet()
 	var batch []*pending
 	for {
-		p, ok := <-s.reqs
-		if !ok {
+		select {
+		case <-quit:
 			return
+		case p, ok := <-s.reqs:
+			if !ok {
+				return
+			}
+			batch = append(batch[:0], p)
+			s.fill(&batch, len(p.nodes), p.enq)
+			s.runBatch(w, rs, batch)
 		}
-		batch = append(batch[:0], p)
-		s.fill(&batch, len(p.nodes), p.enq)
-		s.runBatch(w, rs, batch)
 	}
 }
 

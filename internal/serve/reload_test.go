@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/graph"
+	"repro/internal/nn"
+)
+
+// altModel builds a second architecture-matched model with different
+// parameters, so a swap is observable in the scores.
+func (f *testFixture) altModel(seed uint64) *nn.Model {
+	m := nn.NewGraphSAGE(f.ds.FeatDim, 16, f.ds.Classes, 2)
+	m.Init(graph.NewRNG(seed))
+	return m
+}
+
+func TestReloadSwapsModel(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+	defer s.Close()
+
+	before, err := s.Predict([]graph.NodeID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(f.altModel(99)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ModelVersion() != 1 {
+		t.Fatalf("model version %d after one reload", s.ModelVersion())
+	}
+	after, err := s.Predict([]graph.NodeID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range before[0].Scores {
+		if before[0].Scores[i] != after[0].Scores[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("scores identical after swapping to a different model")
+	}
+}
+
+// TestReloadDropsNoRequests hammers Predict from many goroutines while
+// repeatedly hot-swapping the model: every request must complete
+// without error — the blue/green handoff may never drop or fail one.
+func TestReloadDropsNoRequests(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+	defer s.Close()
+
+	const clients, perClient, reloads = 8, 50, 20
+	var wg sync.WaitGroup
+	var completed, failed atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				v := graph.NodeID((c*perClient + i) % f.ds.Graph.NumNodes())
+				res, err := s.Predict([]graph.NodeID{v, v + 1})
+				if err != nil || len(res) != 2 {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		for i := 0; i < reloads; i++ {
+			if err := s.Reload(f.altModel(uint64(100 + i))); err != nil {
+				t.Errorf("reload %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-reloadDone
+	if failed.Load() != 0 {
+		t.Fatalf("%d requests failed during reloads", failed.Load())
+	}
+	if completed.Load() != clients*perClient {
+		t.Fatalf("completed %d of %d requests", completed.Load(), clients*perClient)
+	}
+	if s.ModelVersion() != reloads {
+		t.Fatalf("model version %d after %d reloads", s.ModelVersion(), reloads)
+	}
+	snap := s.Stats()
+	if snap.Requests != clients*perClient {
+		t.Fatalf("stats counted %d requests, want %d", snap.Requests, clients*perClient)
+	}
+	if snap.SimSeconds <= 0 {
+		t.Fatal("sim-seconds gauge lost time across generations")
+	}
+}
+
+// TestReloadCheckpointFromSnapshotAndRaw drives the file-based reload
+// path with both accepted formats.
+func TestReloadCheckpointFromSnapshotAndRaw(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	s := f.server(t, func(c *Config) {
+		c.ReloadPath = path
+		c.NewModel = func() *nn.Model {
+			return nn.NewGraphSAGE(f.ds.FeatDim, 16, f.ds.Classes, 2)
+		}
+	})
+	defer s.Close()
+
+	// Raw nn params file.
+	if err := f.altModel(5).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadCheckpoint(); err != nil {
+		t.Fatalf("reload raw params: %v", err)
+	}
+
+	// Full training snapshot at the same path.
+	var buf bytes.Buffer
+	if err := f.altModel(6).SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := &checkpoint.Snapshot{
+		Strategy: "GDP",
+		Seed:     3,
+		Devices:  2,
+		Model:    buf.Bytes(),
+	}
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadCheckpoint(); err != nil {
+		t.Fatalf("reload snapshot: %v", err)
+	}
+	if s.ModelVersion() != 2 {
+		t.Fatalf("model version %d after two file reloads", s.ModelVersion())
+	}
+
+	// A corrupt file fails the reload and leaves the server serving.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadCheckpoint(); err == nil {
+		t.Fatal("reloaded a corrupt checkpoint")
+	}
+	if _, err := s.Predict([]graph.NodeID{1}); err != nil {
+		t.Fatalf("server broken after failed reload: %v", err)
+	}
+	if s.ModelVersion() != 2 {
+		t.Fatal("failed reload bumped the model version")
+	}
+}
+
+func TestReloadAfterCloseFails(t *testing.T) {
+	f := newFixture(t)
+	s := f.server(t, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(f.altModel(4)); err != ErrServerClosed {
+		t.Fatalf("reload after close: %v, want ErrServerClosed", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hardware"
@@ -88,6 +89,15 @@ type Config struct {
 	// training dry-run) for the hotness cache policies.
 	Freq []int64
 	Seed uint64
+	// NewModel constructs an architecture-matched empty model; required
+	// for ReloadCheckpoint (the checkpoint's parameters are loaded into
+	// a fresh instance so a bad file can never corrupt the live model).
+	NewModel func() *nn.Model
+	// ReloadPath is the checkpoint file ReloadCheckpoint re-reads —
+	// either a training snapshot (internal/checkpoint format) or a raw
+	// parameter file. Empty disables checkpoint reloading; Reload with
+	// an explicit model still works.
+	ReloadPath string
 }
 
 func (c *Config) normalize() error {
@@ -151,15 +161,25 @@ type pending struct {
 // Close.
 type Server struct {
 	cfg   Config
-	inf   *engine.Inferencer
+	store *cache.Store
 	stats *Stats
 	reg   *obs.Registry
 	obsO  obs.Options
 	spans *obs.Collector
 	reqs  chan *pending
 
-	mu        sync.RWMutex
-	closed    bool
+	mu     sync.RWMutex
+	closed bool
+	// Blue/green state under mu: inf is the live generation's worker
+	// pool, quit tells the previous generation's workers to stop
+	// claiming requests, retiredSimSec accumulates the simulated time
+	// of retired generations, and modelVersion counts swaps.
+	inf           *engine.Inferencer
+	quit          chan struct{}
+	retiredSimSec float64
+	modelVersion  int
+
+	reloads   *obs.Counter
 	wg        sync.WaitGroup
 	flushOnce sync.Once
 	flushErr  error
@@ -174,6 +194,42 @@ func New(cfg Config, opts ...obs.Option) (*Server, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	store := buildStore(&cfg)
+	inf, err := newInferencer(&cfg, store, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		inf:   inf,
+		quit:  make(chan struct{}),
+		reg:   obs.NewRegistry(),
+		obsO:  obs.BuildOptions(opts...),
+		reqs:  make(chan *pending, cfg.QueueCap),
+	}
+	// The sim-seconds gauge spans model swaps: retired generations'
+	// totals accumulate and the live inferencer adds its own.
+	s.stats = newStats(s.reg, cfg.MaxBatch, func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.retiredSimSec + s.inf.SimSeconds()
+	})
+	s.reloads = s.reg.Counter("apt_serve_reloads_total", "Live model swaps applied.")
+	if s.obsO.Enabled() {
+		// Span collection is opt-in: a long-running server would grow the
+		// span buffers without bound for no reader.
+		s.spans = obs.NewCollector()
+		inf.AttachSpans(s.spans)
+	}
+	s.startWorkers(inf, s.quit)
+	return s, nil
+}
+
+// buildStore assembles the serving feature store: host placement plus
+// the per-device fp32/int8 cache tiers. The store is model-independent
+// — it outlives model swaps, so a reload re-admits nothing.
+func buildStore(cfg *Config) *cache.Store {
 	n := cfg.Graph.NumNodes()
 	dim := cfg.Feats.Cols
 	store := cache.NewStore(cfg.Platform, n, dim, cfg.Feats)
@@ -204,37 +260,96 @@ func New(cfg Config, opts ...obs.Option) (*Server, error) {
 			}
 		}
 	}
-	inf, err := engine.NewInferencer(engine.InferConfig{
+	return store
+}
+
+// newInferencer builds one generation's worker pool over the shared
+// store.
+func newInferencer(cfg *Config, store *cache.Store, m *nn.Model) (*engine.Inferencer, error) {
+	return engine.NewInferencer(engine.InferConfig{
 		Platform: cfg.Platform,
 		Graph:    cfg.Graph,
 		Store:    store,
-		Model:    cfg.Model,
+		Model:    m,
 		Sampling: cfg.Sampling,
 		Workers:  cfg.Workers,
 		Seed:     cfg.Seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{
-		cfg:  cfg,
-		inf:  inf,
-		reg:  obs.NewRegistry(),
-		obsO: obs.BuildOptions(opts...),
-		reqs: make(chan *pending, cfg.QueueCap),
-	}
-	s.stats = newStats(s.reg, cfg.MaxBatch, inf.SimSeconds)
-	if s.obsO.Enabled() {
-		// Span collection is opt-in: a long-running server would grow the
-		// span buffers without bound for no reader.
-		s.spans = obs.NewCollector()
-		inf.AttachSpans(s.spans)
-	}
+}
+
+// startWorkers launches one goroutine per inference worker of a
+// generation; quit retires them without touching the shared queue.
+func (s *Server) startWorkers(inf *engine.Inferencer, quit chan struct{}) {
 	for w := 0; w < inf.NumWorkers(); w++ {
 		s.wg.Add(1)
-		go s.worker(inf.Worker(w))
+		go s.worker(inf.Worker(w), quit)
 	}
-	return s, nil
+}
+
+// Reload blue/green-swaps the serving model: a new generation of
+// workers over m starts consuming the shared request queue, then the
+// old generation is told to retire. In-flight batches complete on the
+// model they started with, queued requests are picked up by the new
+// generation, and no request is ever dropped — there is no instant
+// with zero live workers. The feature store is shared (it holds
+// features, not model state), so a swap costs worker construction,
+// nothing more. m must match the architecture the server was built
+// with only in input/output contract; its parameters are used as-is.
+func (s *Server) Reload(m *nn.Model) error {
+	if m == nil {
+		return fmt.Errorf("serve: reload with nil model")
+	}
+	inf, err := newInferencer(&s.cfg, s.store, m)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if s.spans != nil {
+		inf.AttachSpans(s.spans)
+	}
+	oldInf, oldQuit := s.inf, s.quit
+	s.retiredSimSec += oldInf.SimSeconds()
+	s.inf = inf
+	s.quit = make(chan struct{})
+	s.modelVersion++
+	// Green before blue: the new workers are live before the old ones
+	// are told to go, so the queue never loses its consumers.
+	s.startWorkers(inf, s.quit)
+	close(oldQuit)
+	s.reloads.Inc()
+	s.mu.Unlock()
+	return nil
+}
+
+// ReloadCheckpoint re-reads the configured ReloadPath — a training
+// snapshot or a raw parameter file — into a fresh model from
+// Config.NewModel and swaps it in via Reload. The parameters land in a
+// new instance first, so a corrupt or mismatched file fails the reload
+// and leaves the live model untouched.
+func (s *Server) ReloadCheckpoint() error {
+	if s.cfg.ReloadPath == "" {
+		return fmt.Errorf("serve: no reload path configured")
+	}
+	if s.cfg.NewModel == nil {
+		return fmt.Errorf("serve: reload requires Config.NewModel")
+	}
+	m := s.cfg.NewModel()
+	if err := checkpoint.LoadModelInto(m, s.cfg.ReloadPath); err != nil {
+		return fmt.Errorf("serve: reload %s: %w", s.cfg.ReloadPath, err)
+	}
+	return s.Reload(m)
+}
+
+// ModelVersion counts the model swaps applied so far (0 until the
+// first Reload).
+func (s *Server) ModelVersion() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.modelVersion
 }
 
 // Predict answers one request: the predicted label and per-class
@@ -292,8 +407,12 @@ func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
 // endpoint renders it in the text exposition format).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// NumWorkers returns the inference pool size.
-func (s *Server) NumWorkers() int { return s.inf.NumWorkers() }
+// NumWorkers returns the live generation's inference pool size.
+func (s *Server) NumWorkers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inf.NumWorkers()
+}
 
 // Close stops the server: new Predict calls fail with ErrServerClosed,
 // while already-queued and in-flight requests drain and complete.

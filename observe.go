@@ -17,9 +17,6 @@ type (
 	// Observer receives the collected span tracks and the metrics
 	// registry when a run flushes (training finishes, server closes).
 	Observer = obs.Observer
-	// ObserveOption is a functional option configuring observability;
-	// NewAPT and Serve accept any number of them.
-	ObserveOption = obs.Option
 	// Span is one timed operation on a simulated device's track.
 	Span = obs.Span
 	// SpanTrack is one device's (or sampler's, or comm link's)
@@ -31,14 +28,8 @@ type (
 	MetricsRegistry = obs.Registry
 )
 
-var (
-	// WithObserver delivers the run's spans and metrics to an Observer
-	// at flush time.
-	WithObserver = obs.WithObserver
-	// WithTracePath writes a Chrome trace-event JSON file at flush
-	// time; load it in chrome://tracing or Perfetto.
-	WithTracePath = obs.WithTracePath
-	// WriteChromeTrace renders a span collector as Chrome trace-event
-	// JSON to a writer.
-	WriteChromeTrace = obs.WriteChromeTrace
-)
+// WriteChromeTrace renders a span collector as Chrome trace-event
+// JSON to a writer. (WithObserver and WithTracePath, the options that
+// attach observers, live in options.go with the rest of the Option
+// constructors.)
+var WriteChromeTrace = obs.WriteChromeTrace

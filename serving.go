@@ -1,7 +1,11 @@
 package repro
 
 // Serving surface of the facade: online inference over a trained
-// model with adaptive micro-batching (package internal/serve).
+// model with adaptive micro-batching (package internal/serve), plus
+// blue/green model hot-swap — Server.Reload installs a new model
+// without dropping a single in-flight request, and
+// Server.ReloadCheckpoint does the same from the checkpoint file
+// named by WithReload.
 
 import "repro/internal/serve"
 
@@ -23,6 +27,13 @@ type (
 var ErrServerClosed = serve.ErrServerClosed
 
 // Serve starts an online inference server over a trained model.
-// Observability options (WithObserver, WithTracePath) attach
-// observers that flush when the server closes.
-var Serve = serve.New
+// Options attach observers (WithObserver, WithTracePath) that flush
+// when the server closes and configure hot-swap (WithReload).
+func Serve(cfg ServeConfig, opts ...Option) (*Server, error) {
+	for _, o := range opts {
+		if o.serve != nil {
+			o.serve(&cfg)
+		}
+	}
+	return serve.New(cfg, obsOf(opts)...)
+}
