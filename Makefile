@@ -58,15 +58,20 @@ bench-kernels:
 
 # bench-check re-runs the GOMAXPROCS=1 series and fails if any shared
 # benchmark's ns/op regressed more than 10% against the committed
-# BENCH_kernels.json record.
+# BENCH_kernels.json record, then re-runs the raw allreduce series and
+# fails on a >10% regression against BENCH_transport.json (or a
+# ring-vs-naive win at world 4 over TCP below 40%).
 bench-check:
 	( GOMAXPROCS=1 $(GO) test -run XXX -bench . -benchmem -benchtime 100x ./internal/tensor/ ; \
 	  GOMAXPROCS=1 $(GO) test -run XXX -bench $(EPOCH_BENCHES) -benchmem -benchtime 20x . ) \
 		| $(GO) run ./cmd/benchkernels -check -against BENCH_kernels.json
+	$(GO) run ./cmd/aptbench -exp transport -check
 
 # bench-transport regenerates BENCH_transport.json: wall-clock epoch
 # time of real-mode training per strategy under the in-process channel
-# transport vs the TCP backend over loopback (2 rank processes).
+# transport vs the TCP backend over loopback (2 rank processes), plus
+# the raw allreduce series — naive full-mesh vs chunked ring, per wire
+# codec (fp32/fp16/int8), at worlds 2 and 4 over both backends.
 # Training is bit-identical across the two, so the tcp/channel ratio
 # isolates pure wire overhead (serialization + sockets).
 bench-transport:

@@ -33,6 +33,11 @@ type Snapshot = checkpoint.Snapshot
 // checkpoint directory.
 const SnapshotName = checkpoint.DefaultName
 
+// LatestSnapshot returns the newest snapshot file in a checkpoint
+// directory: the highest-epoch stamped file under WithCheckpointRetain,
+// or the rolling SnapshotName without it.
+var LatestSnapshot = checkpoint.LatestSnapshot
+
 // ReadSnapshot decodes a snapshot from a stream, verifying framing
 // and CRCs; the typed errors are in internal/checkpoint.
 var ReadSnapshot = checkpoint.Read

@@ -39,6 +39,7 @@ func main() {
 		batch  = flag.Int("batch", 64, "per-GPU mini-batch size")
 		out    = flag.String("o", "", "also append reports to this file")
 		trace  = flag.String("trace", "", "run a pipelined training pass and write its Chrome trace to this file")
+		check  = flag.Bool("check", false, "with -exp transport: gate the allreduce series against the committed BENCH_transport.json instead of rewriting it")
 	)
 	flag.Parse()
 
@@ -50,12 +51,16 @@ func main() {
 		// Channel-vs-TCP wall time is its own path: it runs real
 		// sockets and rank processes, not the simulated platform the
 		// experiment env wraps.
-		report, err := transportBench(*scale, *epochs, *batch, "BENCH_transport.json")
+		run := func() (string, error) { return transportBench(*scale, *epochs, *batch, "BENCH_transport.json") }
+		if *check {
+			run = func() (string, error) { return transportCheck("BENCH_transport.json") }
+		}
+		report, err := run()
+		fmt.Print(report)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aptbench transport:", err)
 			os.Exit(1)
 		}
-		fmt.Print(report)
 		return
 	}
 

@@ -66,6 +66,7 @@ func main() {
 		batch       = flag.Int("batch", 64, "per-GPU batch size")
 		lr          = flag.Float64("lr", 0.01, "Adam learning rate")
 		pinned      = flag.String("strategy", "", "pin a strategy (GDP/NFP/SNP/DNP) instead of planning")
+		gradComp    = flag.String("grad-compress", "", "gradient wire codec: fp32 (default), fp16, or int8")
 		measureWire = flag.Bool("measure-wire", false, "calibrate the planner against measured collective wire speeds")
 		ckptDir     = flag.String("ckpt-dir", "", "rank 0 writes a rolling training snapshot here after every epoch")
 		resume      = flag.Bool("resume", false, "resume from the snapshot in -ckpt-dir instead of starting fresh")
@@ -100,6 +101,7 @@ func main() {
 		Platform:     p,
 		CacheBytes:   ds.CacheBytesFraction(0.08),
 		Seed:         7,
+		GradCompress: *gradComp,
 	}
 
 	tr, err := transport.NewTCP(transport.TCPOptions{

@@ -101,17 +101,17 @@ type Store struct {
 // be nil (accounting mode).
 func NewStore(p *hardware.Platform, n, dim int, feats *tensor.Matrix) *Store {
 	s := &Store{
-		Platform:    p,
-		Feats:       feats,
-		Dim:         dim,
-		LoadDim:     dim,
-		HostMachine: make([]int32, n),
+		Platform:     p,
+		Feats:        feats,
+		Dim:          dim,
+		LoadDim:      dim,
+		HostMachine:  make([]int32, n),
 		cached:       make([][]uint64, p.NumDevices()),
 		qcached:      make([][]uint64, p.NumDevices()),
 		cachedLists:  make([][]graph.NodeID, p.NumDevices()),
 		qcachedLists: make([][]graph.NodeID, p.NumDevices()),
-		numNodes:    n,
-		loc:         make([]atomic.Pointer[[]uint8], p.NumDevices()),
+		numNodes:     n,
+		loc:          make([]atomic.Pointer[[]uint8], p.NumDevices()),
 	}
 	words := (n + 63) / 64
 	for d := range s.cached {

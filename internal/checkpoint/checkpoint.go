@@ -81,6 +81,11 @@ type Snapshot struct {
 	// configured from; restoring it lets a same-topology resume skip
 	// the dry-run entirely.
 	Freq []int64
+	// Adaptive carries the online re-planner's learned state and the
+	// per-strategy dry-run statistics, so a resumed TrainAdaptive keeps
+	// re-planning with the calibration it had already learned. Nil when
+	// the run had no planner state to save.
+	Adaptive *AdaptiveState
 }
 
 // Kind parses the snapshot's strategy name.

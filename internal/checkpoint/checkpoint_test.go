@@ -10,8 +10,10 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/strategy"
 )
 
 // fullSnapshot builds a snapshot exercising every section.
@@ -45,6 +47,99 @@ func fullSnapshot(t *testing.T) *Snapshot {
 		SamplerRNG:    [][4]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}},
 		EpochRNG:      [4]uint64{9, 10, 11, 12},
 		Freq:          []int64{4, 0, 9, 1},
+		Adaptive:      adaptiveState(),
+	}
+}
+
+// adaptiveState builds a re-planner state with every field exercised.
+func adaptiveState() *AdaptiveState {
+	gdp := engine.EpochStats{
+		SampleSec: 0.5, BuildSec: 0.25, LoadSec: 2, TrainSec: 1.5, ShuffleSec: 0.125,
+		NumBatches: 7, MeanLoss: 1.25,
+	}
+	gdp.Totals.SampledEdges = 900
+	gdp.Totals.GradCommSec = 0.25
+	gdp.Totals.GradExposedSec = 0.0625
+	gdp.PerDevice = []engine.WorkerStats{{SeedsProcessed: 40}, {SeedsProcessed: 41}}
+	gdp.PerDevice[0].Load.Nodes[0] = 11
+	gdp.PerDevice[0].Load.Bytes[0] = 44
+	gdp.PerDevice[0].Load.Seconds = 0.375
+	snp := engine.EpochStats{BuildSec: 3, NumBatches: 7, OOM: true}
+	snp.Totals.GraphA2ABytes = 1 << 20
+	snp.Totals.VirtualNodes = 123
+	return &AdaptiveState{
+		BaseFrac:    0.25,
+		Cooldown:    1,
+		CalBuild:    1.5,
+		CalLoadHost: 0.75,
+		CalShuffle:  1,
+		CalTrain:    0.875,
+		GradOverlap: 0.75,
+		PerStrategy: map[strategy.Kind]engine.EpochStats{
+			strategy.GDP: gdp,
+			strategy.SNP: snp,
+		},
+	}
+}
+
+// TestRoundTripAdaptive pins the adaptive section: the full re-planner
+// state — calibration factors, overlap, and the per-strategy dry-run
+// stats with their per-device breakdown — survives encode/decode, and
+// the encoding is canonical.
+func TestRoundTripAdaptive(t *testing.T) {
+	s := fullSnapshot(t)
+	b := mustEncode(t, s)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(s.Adaptive, got.Adaptive) {
+		t.Fatalf("adaptive state changed:\n in %+v\nout %+v", s.Adaptive, got.Adaptive)
+	}
+	if !bytes.Equal(b, mustEncode(t, got)) {
+		t.Fatal("re-encode differs from original bytes")
+	}
+}
+
+// TestDecodeRejectsBadAdaptive covers the adaptive section's rejection
+// classes: out-of-order strategies and a location-count mismatch.
+func TestDecodeRejectsBadAdaptive(t *testing.T) {
+	base := minimalSnapshot(t)
+	encode := func(mutate func(*AdaptiveState)) []byte {
+		s := *base
+		s.Adaptive = adaptiveState()
+		mutate(s.Adaptive)
+		b, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	ok := encode(func(*AdaptiveState) {})
+	if _, err := Decode(ok); err != nil {
+		t.Fatalf("baseline adaptive snapshot rejected: %v", err)
+	}
+	// Rewrite every "GDP" name prefix to a kind sorting after "SNP"'s
+	// (the meta section's copy stays a valid strategy; the adaptive
+	// section's first entry becomes DNP before SNP) — the decoder must
+	// reject the no-longer-ascending order.
+	bad := bytes.ReplaceAll(ok, []byte("\x03\x00\x00\x00GDP"), []byte("\x03\x00\x00\x00DNP"))
+	fixCRC(t, bad)
+	if _, err := Decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("out-of-order adaptive strategies: err = %v, want ErrMalformed", err)
+	}
+}
+
+// fixCRC recomputes every section CRC of a possibly-mutated snapshot so
+// structural rejections are tested, not the CRC frame.
+func fixCRC(t *testing.T, b []byte) {
+	t.Helper()
+	rest := b[12:]
+	for len(rest) > 0 {
+		bodyLen := int(binary.LittleEndian.Uint32(rest[1:]))
+		body := rest[5 : 5+bodyLen]
+		binary.LittleEndian.PutUint32(rest[5+bodyLen:], crc32.ChecksumIEEE(body))
+		rest = rest[5+bodyLen+4:]
 	}
 }
 
@@ -164,6 +259,29 @@ func TestRoundTripSGDState(t *testing.T) {
 	}
 	if !reflect.DeepEqual(s.Opt, got.Opt) {
 		t.Fatalf("opt state changed: in %+v out %+v", s.Opt, got.Opt)
+	}
+}
+
+func TestRoundTripNeverSteppedAdam(t *testing.T) {
+	// A never-stepped Adam emits all-absent moment slots; the codec
+	// canonicalizes the all-absent V to nil — the SGD form — and
+	// Adam.Restore must accept it back.
+	m := nn.NewGraphSAGE(4, 8, 3, 2)
+	m.Init(graph.NewRNG(1))
+	params := m.Params()
+	opt := nn.NewAdam(0.01)
+	s := minimalSnapshot(t)
+	st := opt.State(params)
+	s.Opt = &st
+	got, err := Decode(mustEncode(t, s))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Opt.V != nil {
+		t.Error("all-absent V was not canonicalized to nil")
+	}
+	if err := nn.NewAdam(0.01).Restore(params, *got.Opt); err != nil {
+		t.Fatalf("Restore of never-stepped adam state: %v", err)
 	}
 }
 

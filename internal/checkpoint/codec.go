@@ -20,7 +20,7 @@ import (
 //	per section: u8 id, u32 bodyLen, body, u32 crc32(IEEE, body)
 //
 // Sections appear in strictly increasing id order, at most once each;
-// meta and model are mandatory, opt/rng/freq optional. The ordering
+// meta and model are mandatory, opt/rng/freq/adaptive optional. The ordering
 // rule plus presence-byte discipline inside bodies makes the encoding
 // canonical: decoding and re-encoding any accepted file reproduces it
 // byte for byte (the fuzz harness pins this), so no two byte strings
@@ -40,11 +40,12 @@ const DefaultMaxSectionBytes = 1 << 30
 
 // Section ids, in their mandatory file order.
 const (
-	secMeta  = 1
-	secModel = 2
-	secOpt   = 3
-	secRNG   = 4
-	secFreq  = 5
+	secMeta     = 1
+	secModel    = 2
+	secOpt      = 3
+	secRNG      = 4
+	secFreq     = 5
+	secAdaptive = 6
 )
 
 // Typed codec errors, mirroring the transport wire codec's taxonomy.
@@ -95,6 +96,9 @@ func (s *Snapshot) Encode() ([]byte, error) {
 		var e transport.Encoder
 		e.I64s(s.Freq)
 		sections = append(sections, section{secFreq, e.B})
+	}
+	if s.Adaptive != nil {
+		sections = append(sections, section{secAdaptive, encodeAdaptive(s.Adaptive)})
 	}
 	var e transport.Encoder
 	e.U32(snapMagic)
@@ -226,6 +230,8 @@ func Decode(b []byte) (*Snapshot, error) {
 			err = s.decodeRNG(body)
 		case secFreq:
 			err = s.decodeFreq(body)
+		case secAdaptive:
+			err = s.decodeAdaptive(body)
 		default:
 			return nil, fmt.Errorf("%w: id %d", ErrUnknownSection, id)
 		}

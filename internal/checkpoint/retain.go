@@ -1,0 +1,69 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Epoch-stamped snapshot retention. With retention on, each
+// epoch-boundary snapshot gets its own file (SnapshotName) instead of
+// replacing a single rolling one, and Prune keeps only the newest k.
+// The epoch number is zero-padded so lexicographic filename order IS
+// epoch order — Prune and LatestSnapshot sort names, never parse them.
+
+// SnapshotName is the epoch-stamped snapshot filename for a retention
+// directory.
+func SnapshotName(epoch int) string {
+	return fmt.Sprintf("snapshot-ep%08d.aptc", epoch)
+}
+
+// listStamped returns the epoch-stamped snapshots in dir, oldest first.
+func listStamped(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "snapshot-ep*.aptc"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Prune removes all but the newest keep epoch-stamped snapshots in
+// dir. The rolling DefaultName file, temp files, and anything else in
+// the directory are never touched. keep <= 0 is a no-op (retention
+// off).
+func Prune(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	names, err := listStamped(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names[:max(0, len(names)-keep)] {
+		if err := os.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LatestSnapshot returns the path of the newest snapshot in dir: the
+// highest-epoch stamped file, or the rolling DefaultName when no
+// stamped snapshots exist. It reports os.ErrNotExist (wrapped) when the
+// directory holds neither — errors.Is(err, os.ErrNotExist) to test.
+func LatestSnapshot(dir string) (string, error) {
+	names, err := listStamped(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(names) > 0 {
+		return names[len(names)-1], nil
+	}
+	rolling := filepath.Join(dir, DefaultName)
+	if _, err := os.Stat(rolling); err != nil {
+		return "", fmt.Errorf("checkpoint: no snapshot in %s: %w", dir, err)
+	}
+	return rolling, nil
+}

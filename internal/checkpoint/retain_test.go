@@ -1,0 +1,84 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotNameOrdersLexically(t *testing.T) {
+	// Zero padding is what lets Prune/LatestSnapshot sort names instead
+	// of parsing epochs back out of them.
+	if a, b := SnapshotName(9), SnapshotName(10); a >= b {
+		t.Fatalf("SnapshotName(9)=%q not < SnapshotName(10)=%q", a, b)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, ep := range []int{1, 2, 3, 4} {
+		touch(t, filepath.Join(dir, SnapshotName(ep)))
+	}
+	// Bystanders the pruner must never touch.
+	touch(t, filepath.Join(dir, DefaultName))
+	touch(t, filepath.Join(dir, "notes.txt"))
+
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		SnapshotName(3): true, SnapshotName(4): true,
+		DefaultName: true, "notes.txt": true,
+	}
+	if len(left) != len(want) {
+		t.Fatalf("after prune: %v", left)
+	}
+	for _, p := range left {
+		if !want[filepath.Base(p)] {
+			t.Fatalf("prune left unexpected %s (or removed a keeper): %v", p, left)
+		}
+	}
+
+	// keep <= 0 means retention off: nothing is removed.
+	if err := Prune(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := filepath.Glob(filepath.Join(dir, "*")); len(after) != len(left) {
+		t.Fatalf("Prune(0) removed files: %v -> %v", left, after)
+	}
+}
+
+func TestLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestSnapshot(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: err = %v, want ErrNotExist", err)
+	}
+	touch(t, filepath.Join(dir, DefaultName))
+	got, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != DefaultName {
+		t.Fatalf("rolling-only dir: %s, want %s", got, DefaultName)
+	}
+	touch(t, filepath.Join(dir, SnapshotName(2)))
+	touch(t, filepath.Join(dir, SnapshotName(10)))
+	if got, err = LatestSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != SnapshotName(10) {
+		t.Fatalf("stamped dir: %s, want %s", got, SnapshotName(10))
+	}
+}

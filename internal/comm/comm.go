@@ -65,6 +65,12 @@ type Comm struct {
 	// device goroutines run.
 	Spans    []*obs.Track
 	SpanBase *float64
+	// Algo selects the AllReduce data plane (ring by default; naive
+	// full-mesh kept for benchmarking). Set before goroutines run.
+	Algo AllReduceAlgo
+	// ring holds per-rank ring-allreduce scratch; ring[dev] is only
+	// touched from dev's own goroutines (see ringState).
+	ring []*ringState
 }
 
 // New creates the communication fabric for a device group over the
@@ -85,7 +91,7 @@ func NewWithTransport(g *device.Group, tr Transport) *Comm {
 	if tr.World() != n {
 		panic(fmt.Sprintf("comm: transport world %d != group size %d", tr.World(), n))
 	}
-	return &Comm{Group: g, Ledger: NewLedger(), n: n, tr: tr}
+	return &Comm{Group: g, Ledger: NewLedger(), n: n, tr: tr, ring: make([]*ringState, n)}
 }
 
 // Transport returns the fabric the collectives run on.
@@ -209,46 +215,89 @@ func (c *Comm) AllToAll(dev int, stage string, outs []Payload) []Payload {
 
 // AllGather broadcasts each device's payload to every other device
 // (the paper's AllBroadcast used by NFP to share layer-1 computation
-// graphs). Returns all payloads indexed by source device.
+// graphs). Returns all payloads indexed by source device. The single
+// payload is broadcast directly — no per-peer copies are materialized —
+// but the charge math and the ledger's "alltoall" op are byte-identical
+// to the AllToAll formulation this replaced.
 func (c *Comm) AllGather(dev int, stage string, p Payload) []Payload {
-	outs := make([]Payload, c.n)
-	for j := range outs {
-		outs[j] = p
+	c.broadcast(dev, p)
+	sendTo := make([]int64, c.n)
+	recvFrom := make([]int64, c.n)
+	sz := p.SizeBytes()
+	in := make([]Payload, c.n)
+	in[dev] = p
+	for j := 0; j < c.n; j++ {
+		if j == dev {
+			continue
+		}
+		sendTo[j] = sz
+		in[j] = c.tr.Recv(dev, j)
+		recvFrom[j] = in[j].SizeBytes()
 	}
-	return c.AllToAll(dev, stage, outs)
+	c.chargePairwise(dev, stage, "alltoall", sendTo, recvFrom)
+	return in
+}
+
+// broadcast ships one payload to every other rank, using the
+// transport's single-serialization fast path when it has one.
+func (c *Comm) broadcast(dev int, p Payload) {
+	if b, ok := c.tr.(Broadcaster); ok {
+		b.Broadcast(dev, p)
+		return
+	}
+	for j := 0; j < c.n; j++ {
+		if j != dev {
+			c.tr.Send(dev, j, p)
+		}
+	}
 }
 
 // AllReduce sums mat element-wise across all devices and returns the
 // sum (identical, including float ordering, on every device). In
 // accounting mode mat may be nil; bytes is then the tensor wire size.
 // Timing follows the ring-allreduce model: 2·(C-1)/C · V over the
-// slowest link on the ring.
+// slowest link on the ring — and since PR 9 the data plane actually
+// moves those bytes (chunked reduce-scatter + allgather) instead of a
+// full-mesh gather-then-sum.
 func (c *Comm) AllReduce(dev int, stage string, mat *tensor.Matrix, bytes int64) *tensor.Matrix {
+	return c.AllReduceCodec(dev, stage, mat, bytes, nil)
+}
+
+// AllReduceCodec is AllReduce with an optional chunk codec compressing
+// the wire (nil = exact fp32). The returned matrix is locally owned
+// (safe to Put without a barrier); mat is never shipped by reference
+// and stays untouched. At world 1 the reduction degenerates to 0+mat,
+// matching the pre-ring bits exactly (including -0 normalization).
+func (c *Comm) AllReduceCodec(dev int, stage string, mat *tensor.Matrix, bytes int64, codec ChunkCodec) *tensor.Matrix {
+	elems := int(bytes / 4)
 	if mat != nil {
 		bytes = mat.Bytes()
+		elems = len(mat.Data)
 	}
 	var result *tensor.Matrix
 	if mat != nil {
-		parts := c.AllGatherNoCharge(dev, Payload{Mat: mat})
-		result = tensor.Get(mat.Rows, mat.Cols)
-		for j := 0; j < c.n; j++ {
-			result.AddInPlace(parts[j].Mat)
+		switch {
+		case c.n == 1:
+			result = tensor.Get(mat.Rows, mat.Cols)
+			result.AddInPlace(mat)
+		case c.Algo == AlgoNaive:
+			result = c.allReduceNaive(dev, mat)
+		default:
+			rs := c.ringFor(dev, elems)
+			acc := rs.acc[rs.cur][:elems]
+			rs.cur = 1 - rs.cur
+			copy(acc, mat.Data)
+			bounds := chunkBounds(elems, c.n)
+			if codec == nil {
+				c.ringReduceF32(dev, rs, acc, bounds)
+			} else {
+				c.ringReduceCodec(dev, rs, acc, bounds, codec)
+			}
+			result = tensor.Get(mat.Rows, mat.Cols)
+			copy(result.Data, acc)
 		}
 	}
-	p := c.Group.Platform
-	ringBW := p.Bandwidth[hardware.LinkPCIe]
-	if p.HasNVLink {
-		ringBW = p.Bandwidth[hardware.LinkNVLink]
-	}
-	kind := hardware.LinkPCIe
-	if p.Machines > 1 {
-		if nb := p.Bandwidth[hardware.LinkNetwork]; nb < ringBW {
-			ringBW = nb
-			kind = hardware.LinkNetwork
-		}
-	}
-	wire := int64(2 * float64(bytes) * float64(c.n-1) / float64(c.n))
-	t := p.Latency[kind]*float64(2*(c.n-1)) + float64(wire)/ringBW
+	t, wire, kind := c.allReduceModel(elems, bytes, codec)
 	c.chargeWithSpan(dev, stage, "allreduce", t, wire)
 	c.Ledger.Add("allreduce", kind, wire)
 	return result
@@ -279,12 +328,7 @@ func (c *Comm) AllToAllNoCharge(dev int, outs []Payload) []Payload {
 // charging simulated time; used internally by AllReduce (whose timing
 // follows the ring model, not the naive gather) and by tests.
 func (c *Comm) AllGatherNoCharge(dev int, p Payload) []Payload {
-	for j := 0; j < c.n; j++ {
-		if j == dev {
-			continue
-		}
-		c.tr.Send(dev, j, p)
-	}
+	c.broadcast(dev, p)
 	in := make([]Payload, c.n)
 	in[dev] = p
 	for j := 0; j < c.n; j++ {

@@ -51,6 +51,11 @@ type APT struct {
 	// directory must exist.
 	CheckpointDir   string
 	CheckpointEvery int
+	// CheckpointRetain, when positive, switches the directory to
+	// epoch-stamped snapshots (checkpoint.SnapshotName) and prunes all
+	// but the newest CheckpointRetain after each write; zero keeps the
+	// single rolling snapshot.
+	CheckpointRetain int
 
 	// Checkpoint/resume state: the most recently built engine and its
 	// strategy (what Checkpoint snapshots), the completed-epoch base
@@ -60,6 +65,12 @@ type APT struct {
 	lastKind   strategy.Kind
 	epochBase  int
 	resume     *checkpoint.Snapshot
+
+	// Adaptive checkpoint/resume state: the live re-planner (set while
+	// TrainAdaptive runs, so snapshots capture its learned state) and
+	// the restored state a Resume'd APT hands to its first re-planner.
+	replanner    *Replanner
+	resumeReplan *ReplanState
 
 	// Observability: reg always exists (epoch metrics fold into it);
 	// spans is created only when an option asked for span collection.
@@ -265,6 +276,7 @@ func (a *APT) engineConfig(k strategy.Kind, store *cache.Store, mode engine.Mode
 		Mode:           mode,
 		Seed:           t.Seed,
 		RecordTimeline: t.RecordTimeline,
+		GradCompress:   t.GradCompress,
 		Pipeline:       t.Pipeline,
 		PipelineDepth:  t.PipelineDepth,
 	}

@@ -95,12 +95,35 @@ func (a *APT) buildSnapshot(e *engine.Engine, k strategy.Kind) (*checkpoint.Snap
 	if a.dryRun != nil {
 		s.Freq = a.dryRun.Freq
 	}
+	if a.dryRun != nil && a.dryRun.PerStrategy != nil {
+		// Carry the planner's inputs and learned state so a resumed
+		// TrainAdaptive keeps re-planning online. Outside an adaptive run
+		// there is no live re-planner; the state is then the task's
+		// dry-run split with cold calibration, which is exactly what a
+		// fresh re-planner over these stats would start from.
+		st := ReplanState{BaseFrac: a.task.Int8CacheFrac}
+		if a.replanner != nil {
+			st = a.replanner.State()
+		}
+		s.Adaptive = &checkpoint.AdaptiveState{
+			BaseFrac:    st.BaseFrac,
+			Cooldown:    st.Cooldown,
+			CalBuild:    st.Cal.Build,
+			CalLoadHost: st.Cal.LoadHost,
+			CalShuffle:  st.Cal.Shuffle,
+			CalTrain:    st.Cal.Train,
+			GradOverlap: st.GradOverlap,
+			PerStrategy: a.dryRun.PerStrategy,
+		}
+	}
 	return s, nil
 }
 
-// maybeCheckpoint writes the rolling snapshot when the system was
-// configured with a checkpoint directory and the completed-epoch count
-// hits the cadence.
+// maybeCheckpoint writes a snapshot when the system was configured
+// with a checkpoint directory and the completed-epoch count hits the
+// cadence: the single rolling file by default, or — with
+// CheckpointRetain set — an epoch-stamped file followed by pruning to
+// the newest CheckpointRetain.
 func (a *APT) maybeCheckpoint(e *engine.Engine, k strategy.Kind) error {
 	if a.CheckpointDir == "" {
 		return nil
@@ -116,6 +139,12 @@ func (a *APT) maybeCheckpoint(e *engine.Engine, k strategy.Kind) error {
 	snap, err := a.buildSnapshot(e, k)
 	if err != nil {
 		return err
+	}
+	if a.CheckpointRetain > 0 {
+		if err := snap.WriteFile(filepath.Join(a.CheckpointDir, checkpoint.SnapshotName(done))); err != nil {
+			return err
+		}
+		return checkpoint.Prune(a.CheckpointDir, a.CheckpointRetain)
 	}
 	return snap.WriteFile(filepath.Join(a.CheckpointDir, checkpoint.DefaultName))
 }
@@ -178,13 +207,30 @@ func resume(task Task, snap *checkpoint.Snapshot, opts ...obs.Option) (*APT, err
 	if snap.Freq != nil {
 		a.dryRun = &DryRunStats{Freq: snap.Freq}
 	}
+	if snap.Adaptive != nil {
+		// The per-strategy dry-run stats and the re-planner's learned
+		// state ride in the snapshot, so a resumed TrainAdaptive keeps
+		// re-planning online with the calibration it had already earned.
+		if a.dryRun == nil {
+			a.dryRun = &DryRunStats{}
+		}
+		a.dryRun.PerStrategy = snap.Adaptive.PerStrategy
+		a.resumeReplan = &ReplanState{
+			BaseFrac: snap.Adaptive.BaseFrac,
+			Cooldown: snap.Adaptive.Cooldown,
+			Cal: Calibration{
+				Build:    snap.Adaptive.CalBuild,
+				LoadHost: snap.Adaptive.CalLoadHost,
+				Shuffle:  snap.Adaptive.CalShuffle,
+				Train:    snap.Adaptive.CalTrain,
+			},
+			GradOverlap: snap.Adaptive.GradOverlap,
+		}
+	}
 	a.Choice = kind
 	a.int8Frac = snap.Int8Frac
 	// The plan is adopted, not recomputed: Plan() short-circuits on
-	// planned, so Train goes straight to the recorded strategy. (The
-	// per-strategy dry-run stats are not part of the snapshot, so a
-	// resumed TrainAdaptive holds the recorded plan instead of
-	// re-planning online.)
+	// planned, so Train goes straight to the recorded strategy.
 	a.planned = true
 	return a, nil
 }

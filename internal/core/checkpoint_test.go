@@ -360,10 +360,10 @@ func TestCheckpointWithoutEngineFails(t *testing.T) {
 	}
 }
 
-// TestAdaptiveResumeHoldsPlan: TrainAdaptive on a resumed APT keeps
-// training (the recorded plan holds; online re-planning needs the
-// dry-run stats a snapshot does not carry).
-func TestAdaptiveResumeHoldsPlan(t *testing.T) {
+// TestAdaptiveResumeCarriesDryRunStats: a snapshot from any planned
+// run carries the per-strategy dry-run stats, so TrainAdaptive on a
+// resumed APT re-plans online instead of holding the recorded plan.
+func TestAdaptiveResumeCarriesDryRunStats(t *testing.T) {
 	dir := t.TempDir()
 	first, err := New(realResumeTask(t, 2, false))
 	if err != nil {
@@ -377,11 +377,128 @@ func TestAdaptiveResumeHoldsPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resumed.dryRun == nil || resumed.dryRun.PerStrategy == nil {
+		t.Fatal("resume did not adopt the snapshot's per-strategy dry-run stats")
+	}
+	if resumed.resumeReplan == nil {
+		t.Fatal("resume did not adopt the snapshot's re-planner state")
+	}
 	res, err := resumed.TrainAdaptive(4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Epochs) != 2 {
 		t.Fatalf("adaptive resume trained %d epochs, want 2", len(res.Epochs))
+	}
+}
+
+// TestAdaptiveResumeBitIdentical pins the adaptive resume contract:
+// TrainAdaptive run straight to E, and the same run resumed at an
+// intermediate epoch-stamped snapshot, must produce bit-identical
+// parameters — which requires the resumed re-planner to make the same
+// decisions, which requires the snapshot to carry the calibration,
+// overlap, cooldown, and dry-run stats the interrupted planner held.
+func TestAdaptiveResumeBitIdentical(t *testing.T) {
+	const interruptAt, total = 2, 5
+	dir := t.TempDir()
+	first, err := New(realResumeTask(t, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.CheckpointDir = dir
+	// Retain every boundary so the interruptAt snapshot survives the
+	// full run (the baseline and the donor are the same run).
+	first.CheckpointRetain = total
+	firstRes, err := first.TrainAdaptive(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paramChecksum(firstRes.Model)
+
+	snapPath := filepath.Join(dir, checkpoint.SnapshotName(interruptAt))
+	resumed, err := ResumeFile(realResumeTask(t, 2, false), snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.TrainAdaptive(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != total-interruptAt {
+		t.Fatalf("resumed adaptive run trained %d epochs, want %d", len(res.Epochs), total-interruptAt)
+	}
+	if res.Choice != firstRes.Choice {
+		t.Fatalf("resumed run ended on %v, uninterrupted on %v", res.Choice, firstRes.Choice)
+	}
+	if got := paramChecksum(res.Model); got != want {
+		t.Fatalf("resumed adaptive params %016x != uninterrupted %016x", got, want)
+	}
+	// The replan decisions after the interrupt point must match the
+	// uninterrupted run's tail exactly.
+	var tail []ReplanEvent
+	for _, ev := range firstRes.Replans {
+		if ev.Epoch >= interruptAt {
+			tail = append(tail, ev)
+		}
+	}
+	if len(res.Replans) != len(tail) {
+		t.Fatalf("resumed run made %d switches after epoch %d, uninterrupted made %d",
+			len(res.Replans), interruptAt, len(tail))
+	}
+	for i := range tail {
+		if res.Replans[i].To != tail[i].To || res.Replans[i].Epoch != tail[i].Epoch {
+			t.Fatalf("switch %d: resumed %+v != uninterrupted %+v", i, res.Replans[i], tail[i])
+		}
+	}
+}
+
+// TestCheckpointRetainRotation: with CheckpointRetain set, snapshots
+// are epoch-stamped and pruned to the newest k — including across a
+// resume, where the rotation continues from the adopted epoch base.
+func TestCheckpointRetainRotation(t *testing.T) {
+	dir := t.TempDir()
+	stamped := func() []string {
+		names, err := filepath.Glob(filepath.Join(dir, "snapshot-ep*.aptc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range names {
+			names[i] = filepath.Base(n)
+		}
+		return names
+	}
+	a, err := New(realResumeTask(t, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.CheckpointDir = dir
+	a.CheckpointRetain = 2
+	if _, err := a.Train(3); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{checkpoint.SnapshotName(2), checkpoint.SnapshotName(3)}
+	if got := stamped(); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after 3 epochs retain 2: %v, want %v", got, want)
+	}
+
+	latest, err := checkpoint.LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != checkpoint.SnapshotName(3) {
+		t.Fatalf("LatestSnapshot = %s, want %s", latest, checkpoint.SnapshotName(3))
+	}
+	resumed, err := ResumeFile(realResumeTask(t, 2, false), latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.CheckpointDir = dir
+	resumed.CheckpointRetain = 2
+	if _, err := resumed.Train(5); err != nil {
+		t.Fatal(err)
+	}
+	want = []string{checkpoint.SnapshotName(4), checkpoint.SnapshotName(5)}
+	if got := stamped(); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after resume to 5 retain 2: %v, want %v", got, want)
 	}
 }

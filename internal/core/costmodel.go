@@ -116,6 +116,14 @@ type CostModel struct {
 	// Cal, when non-nil, multiplies each stage's estimate by the
 	// measured correction factor (online re-planning mode).
 	Cal *Calibration
+	// GradOverlap is the measured fraction of the gradient allreduce
+	// the backward pass hides (1 - GradExposedSec/GradCommSec from the
+	// engine's bucketed sync). The dry-run charges the collective fully
+	// exposed, so the train term subtracts the hidden share; the
+	// codec's compression ratio is already inside GradCommSec (the
+	// allreduce model prices the encoded wire). Zero means no overlap
+	// correction.
+	GradOverlap float64
 }
 
 // Estimate applies the paper's §3.2 cost model to one strategy's
@@ -178,6 +186,17 @@ func (cm *CostModel) Estimate(k strategy.Kind, st engine.EpochStats) Estimate {
 	out.ShuffleSec = shufMax
 	if cm.IncludeTrain {
 		out.TrainSec = st.TrainSec
+		if cm.GradOverlap > 0 {
+			var grad float64
+			for i := range st.PerDevice {
+				grad = maxf(grad, st.PerDevice[i].GradCommSec)
+			}
+			hidden := cm.GradOverlap * grad
+			if hidden > out.TrainSec {
+				hidden = out.TrainSec
+			}
+			out.TrainSec -= hidden
+		}
 	}
 	if c := cm.Cal; c != nil {
 		out.BuildSec *= calFactor(c.Build)

@@ -114,9 +114,48 @@ type Replanner struct {
 	cur      Plan
 	cooldown int
 	cal      Calibration
+	// gradOverlap is the measured hidden fraction of the gradient
+	// allreduce (from the engine's bucketed backward-overlapped sync),
+	// sticky across epochs like the calibration factors. The cost
+	// model's train term subtracts the hidden share from the fully
+	// exposed dry-run charge.
+	gradOverlap float64
 
 	// Events accumulates every switch, oldest first.
 	Events []ReplanEvent
+}
+
+// ReplanState is the Replanner's learned state — everything a
+// checkpoint must carry so a resumed adaptive run keeps calibrating
+// where the interrupted one left off instead of starting cold.
+type ReplanState struct {
+	// BaseFrac is the warm-tier split the dry-run volumes were
+	// collected under (candidate splits are costed relative to it; the
+	// re-planner may have moved the live split away from it).
+	BaseFrac float64
+	// Cooldown is the remaining hysteresis epochs after the last switch.
+	Cooldown int
+	// Cal holds the per-stage correction factors.
+	Cal Calibration
+	// GradOverlap is the measured hidden fraction of the gradient
+	// allreduce.
+	GradOverlap float64
+}
+
+// State snapshots the learned re-planner state for checkpointing.
+func (r *Replanner) State() ReplanState {
+	return ReplanState{
+		BaseFrac: r.baseFrac, Cooldown: r.cooldown,
+		Cal: r.cal, GradOverlap: r.gradOverlap,
+	}
+}
+
+// Restore adopts a checkpointed state (call before the first Observe).
+func (r *Replanner) Restore(s ReplanState) {
+	r.baseFrac = s.BaseFrac
+	r.cooldown = s.Cooldown
+	r.cal = s.Cal
+	r.gradOverlap = s.GradOverlap
 }
 
 // NewReplanner builds a re-planner over the planner's dry-run output.
@@ -163,13 +202,16 @@ func (r *Replanner) CalibrateTransport(measured *comm.Profile) {
 // maintains), so a caller holding only the registry can feed Observe.
 func MeasuredStages(reg *obs.Registry) engine.EpochStats {
 	g := func(name string) float64 { return reg.Gauge(name, "").Value() }
-	return engine.EpochStats{
+	st := engine.EpochStats{
 		SampleSec:  g("apt_engine_sample_seconds"),
 		BuildSec:   g("apt_engine_build_seconds"),
 		LoadSec:    g("apt_engine_load_seconds"),
 		TrainSec:   g("apt_engine_train_seconds"),
 		ShuffleSec: g("apt_engine_shuffle_seconds"),
 	}
+	st.Totals.GradCommSec = g("apt_engine_grad_comm_seconds")
+	st.Totals.GradExposedSec = g("apt_engine_grad_exposed_seconds")
+	return st
 }
 
 // loadDim is the per-read feature width of one strategy (NFP shards
@@ -269,6 +311,17 @@ func (r *Replanner) pipelineDepth(e Estimate) int {
 // model's sorted Select and candidate splits from the configured
 // slice, so the same inputs always produce the same plan.
 func (r *Replanner) Observe(epoch int, measured engine.EpochStats) (Plan, bool) {
+	// Learn the gradient-sync overlap first: the measured epoch reports
+	// how much of the bucketed allreduce the backward pass hid, and the
+	// cost model subtracts that share from every strategy's (fully
+	// exposed) dry-run train charge. Updated before the calibration
+	// prediction so the train factor measures residual compute error,
+	// not the overlap the explicit term already carries.
+	if t := measured.Totals.GradCommSec; t > 0 {
+		r.gradOverlap = 1 - measured.Totals.GradExposedSec/t
+	}
+	r.cm.GradOverlap = r.gradOverlap
+
 	// Calibrate: measured-over-predicted per stage, where the
 	// prediction is the *uncalibrated* model for the plan that just
 	// ran (its load term scaled to the split it actually used).
@@ -368,6 +421,19 @@ func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanC
 	cm := &CostModel{Profile: a.profile, Devices: devices, IncludeTrain: true}
 	rp := NewReplanner(rcfg, cm, a.dryRun.PerStrategy, a.dryRun.Freq,
 		a.task.CacheBytes, a.task.FeatDim, devices, a.task.Pipeline, cur)
+	if a.resumeReplan != nil {
+		// A resumed run adopts the interrupted run's learned state: the
+		// calibration, cooldown, and — crucially — the split the dry-run
+		// volumes were collected under, which NewReplanner cannot know
+		// (the initial plan carries the re-planner's possibly-moved
+		// split, not the dry-run's).
+		rp.Restore(*a.resumeReplan)
+		a.resumeReplan = nil
+	}
+	// The live re-planner is visible to buildSnapshot for the duration
+	// of the run and afterwards, so both the in-loop checkpoint cadence
+	// and an explicit post-run Checkpoint capture its learned state.
+	a.replanner = rp
 	res := &Result{
 		Choice:          cur.Kind,
 		Estimates:       a.Estimates,
@@ -383,44 +449,47 @@ func (a *APT) TrainAdaptiveContext(ctx context.Context, epochs int, rcfg ReplanC
 		}
 		res.Epochs = append(res.Epochs, st)
 		done := a.epochBase + e.EpochsRun()
+		if done < epochs {
+			// Observe BEFORE checkpointing: the boundary-k snapshot must
+			// carry the planner state that has already seen epoch k, or a
+			// resumed run would calibrate one epoch behind the
+			// uninterrupted one and their plan decisions could diverge.
+			// The measured stage times come back out of the obs registry —
+			// the same apt_engine_* gauges any external observer sees.
+			next, switched := rp.Observe(done-1, MeasuredStages(a.reg))
+			if switched {
+				a.reg.Counter("apt_replan_switches_total", "Online re-planner plan switches applied.").Inc()
+				if next.Kind == cur.Kind && next.Int8Frac == cur.Int8Frac {
+					// Depth-only resize: adjust the live engine's prefetch
+					// bound, no rebuild.
+					e.EnablePipeline(next.PipelineDepth)
+					cur = next
+				} else {
+					trained := e.Model(0)
+					a.int8Frac = next.Int8Frac
+					// Completed epochs move into the base across the
+					// rebuild, so the epoch counter (and any snapshot of
+					// it) spans engines.
+					a.epochBase = done
+					e2, err := a.BuildEngine(next.Kind)
+					if err != nil {
+						runErr = err
+						break
+					}
+					if a.task.Pipeline && next.PipelineDepth > 0 {
+						e2.EnablePipeline(next.PipelineDepth)
+					}
+					adoptParams(e2, devices, trained)
+					e = e2
+					cur = next
+					res.Choice = cur.Kind
+				}
+			}
+		}
 		if err := a.maybeCheckpoint(e, cur.Kind); err != nil {
 			runErr = err
 			break
 		}
-		if done >= epochs {
-			break
-		}
-		// The measured stage times come back out of the obs registry —
-		// the same apt_engine_* gauges any external observer sees.
-		next, switched := rp.Observe(done-1, MeasuredStages(a.reg))
-		if !switched {
-			continue
-		}
-		a.reg.Counter("apt_replan_switches_total", "Online re-planner plan switches applied.").Inc()
-		if next.Kind == cur.Kind && next.Int8Frac == cur.Int8Frac {
-			// Depth-only resize: adjust the live engine's prefetch
-			// bound, no rebuild.
-			e.EnablePipeline(next.PipelineDepth)
-			cur = next
-			continue
-		}
-		trained := e.Model(0)
-		a.int8Frac = next.Int8Frac
-		// Completed epochs move into the base across the rebuild, so
-		// the epoch counter (and any snapshot of it) spans engines.
-		a.epochBase = done
-		e2, err := a.BuildEngine(next.Kind)
-		if err != nil {
-			runErr = err
-			break
-		}
-		if a.task.Pipeline && next.PipelineDepth > 0 {
-			e2.EnablePipeline(next.PipelineDepth)
-		}
-		adoptParams(e2, devices, trained)
-		e = e2
-		cur = next
-		res.Choice = cur.Kind
 	}
 	res.Replans = rp.Events
 	res.Model = e.Model(0)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sample"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // PartitionerKind selects how SNP/DNP partition the graph.
@@ -89,6 +90,13 @@ type Task struct {
 	// RecordTimeline captures per-step stage times in every epoch's
 	// statistics (engine.EpochStats.Timeline).
 	RecordTimeline bool
+	// GradCompress selects the gradient-allreduce wire codec: "" or
+	// "fp32" moves exact floats, "fp16" halves the wire, "int8" quarters
+	// it with per-chunk scales and error feedback. Compression changes
+	// only the wire — replicas stay bit-identical to each other (every
+	// rank decodes the chunk owner's single final encoding), but a
+	// compressed run is no longer bit-identical to an uncompressed one.
+	GradCompress string
 	// Pipeline runs training epochs with per-worker sampling prefetch
 	// overlapped against compute (engine.Config.Pipeline); epoch stats
 	// then carry the measured overlapped time.
@@ -146,6 +154,9 @@ func (t *Task) normalize() error {
 	}
 	if t.Int8CacheFrac < 0 || t.Int8CacheFrac >= 1 {
 		return fmt.Errorf("core: Int8CacheFrac %v outside [0, 1)", t.Int8CacheFrac)
+	}
+	if _, err := transport.ChunkCodecByName(t.GradCompress); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }

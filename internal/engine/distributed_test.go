@@ -87,63 +87,47 @@ func TestDistributedTCPBitIdentical(t *testing.T) {
 	fanouts := []int{4, 4} // sampled fanout: exercises the per-rank RNG streams too
 	for _, world := range []int{2, 4} {
 		for _, k := range []strategy.Kind{strategy.GDP, strategy.NFP, strategy.SNP, strategy.DNP} {
-			t.Run(fmt.Sprintf("world%d/%v", world, k), func(t *testing.T) {
-				// In-process baseline: same task, all workers as goroutines
-				// over channel transport.
-				f := newFixture(t, world, 160)
-				plan := sample.SplitEven(f.seeds, world, graph.NewRNG(3))
-				base, err := New(f.config(k, func() *nn.Model {
-					return nn.NewGraphSAGE(f.dim, 8, f.classes, 2)
-				}, plan, fanouts))
-				if err != nil {
-					t.Fatalf("baseline engine: %v", err)
+			// The prefetch-overlapped epoch loop uses the same collectives
+			// in the same order, so the pipelined TCP engines must match
+			// the synchronous in-process baseline bit for bit too.
+			for _, pipelined := range []bool{false, true} {
+				name := fmt.Sprintf("world%d/%v", world, k)
+				if pipelined {
+					name += "/pipelined"
 				}
-				var baseLoss float64
-				for ep := 0; ep < epochs; ep++ {
-					baseLoss = base.RunEpoch().Totals.LossSum
-				}
+				t.Run(name, func(t *testing.T) {
+					// In-process baseline: same task, all workers as goroutines
+					// over channel transport, always synchronous.
+					f := newFixture(t, world, 160)
+					plan := sample.SplitEven(f.seeds, world, graph.NewRNG(3))
+					base, err := New(f.config(k, func() *nn.Model {
+						return nn.NewGraphSAGE(f.dim, 8, f.classes, 2)
+					}, plan, fanouts))
+					if err != nil {
+						t.Fatalf("baseline engine: %v", err)
+					}
+					var baseLoss float64
+					for ep := 0; ep < epochs; ep++ {
+						baseLoss = base.RunEpoch().Totals.LossSum
+					}
 
-				engines := trainDistributed(t, world, k, fanouts, epochs, false)
-				for r := 0; r < world; r++ {
-					requireParamsExact(t, fmt.Sprintf("rank %d vs in-process", r),
-						engines[r].Model(r).Params(), base.Model(0).Params())
-				}
-				// Replicas across rank processes must agree with each other
-				// too (rank r only ever touched its own worker's replica).
-				for r := 1; r < world; r++ {
-					requireParamsExact(t, fmt.Sprintf("rank %d vs rank 0", r),
-						engines[r].Model(r).Params(), engines[0].Model(0).Params())
-				}
-				if baseLoss == 0 {
-					t.Fatal("baseline epoch loss is zero; test is vacuous")
-				}
-			})
+					engines := trainDistributed(t, world, k, fanouts, epochs, pipelined)
+					for r := 0; r < world; r++ {
+						requireParamsExact(t, fmt.Sprintf("rank %d vs in-process", r),
+							engines[r].Model(r).Params(), base.Model(0).Params())
+					}
+					// Replicas across rank processes must agree with each other
+					// too (rank r only ever touched its own worker's replica).
+					for r := 1; r < world; r++ {
+						requireParamsExact(t, fmt.Sprintf("rank %d vs rank 0", r),
+							engines[r].Model(r).Params(), engines[0].Model(0).Params())
+					}
+					if baseLoss == 0 {
+						t.Fatal("baseline epoch loss is zero; test is vacuous")
+					}
+				})
+			}
 		}
-	}
-}
-
-// TestDistributedTCPPipelined: the prefetch-overlapped epoch loop uses
-// the same collectives in the same order, so it must stay bit-identical
-// over the wire as well.
-func TestDistributedTCPPipelined(t *testing.T) {
-	const world, epochs = 2, 2
-	fanouts := []int{4, 4}
-	f := newFixture(t, world, 160)
-	plan := sample.SplitEven(f.seeds, world, graph.NewRNG(3))
-	cfg := f.config(strategy.SNP, func() *nn.Model {
-		return nn.NewGraphSAGE(f.dim, 8, f.classes, 2)
-	}, plan, fanouts)
-	base, err := New(cfg)
-	if err != nil {
-		t.Fatalf("baseline engine: %v", err)
-	}
-	for ep := 0; ep < epochs; ep++ {
-		base.RunEpoch()
-	}
-	engines := trainDistributed(t, world, strategy.SNP, fanouts, epochs, true)
-	for r := 0; r < world; r++ {
-		requireParamsExact(t, fmt.Sprintf("pipelined rank %d", r),
-			engines[r].Model(r).Params(), base.Model(0).Params())
 	}
 }
 

@@ -171,6 +171,10 @@ func (r *dnpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 	return h, ctx
 }
 
+// backwardIsLocal: DNP's backward ships destination gradients back to
+// requesters, so the bucketed gradient sync must drain before it runs.
+func (r *dnpRunner) backwardIsLocal() bool { return false }
+
 func (r *dnpRunner) backward(w *worker, mb *sample.MiniBatch, ctxI any, dH *tensor.Matrix) {
 	e := w.eng
 	n := e.Comm.NumDevices()

@@ -33,6 +33,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/strategy"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // Mode selects real execution or volume accounting.
@@ -117,6 +118,13 @@ type Config struct {
 	// LocalRank is this process's rank/device ID; consulted only when
 	// Transport is non-nil.
 	LocalRank int
+	// GradCompress selects the gradient-allreduce wire codec: "" or
+	// "fp32" for exact float32, "fp16" for half precision, "int8" for
+	// 8-bit quantization with an error-feedback residual (DESIGN
+	// decision 18). Compression changes only what crosses the wire;
+	// every rank still decodes identical bytes, so the replicas stay
+	// bit-identical to each other (not to an uncompressed run).
+	GradCompress string
 }
 
 // Engine executes GNN training under one strategy.
@@ -130,6 +138,8 @@ type Engine struct {
 	runner   layer1Runner
 	epochRNG *graph.RNG
 	workers  []*worker
+	// gradCodec compresses the gradient allreduce wire (nil = fp32).
+	gradCodec comm.ChunkCodec
 	// spanBase offsets span start times by the simulated time of all
 	// previous epochs, so a multi-epoch trace reads as one timeline
 	// (device clocks reset every epoch).
@@ -147,6 +157,10 @@ type layer1Runner interface {
 	// backward consumes the gradient w.r.t. the worker's layer-1
 	// output (nil in accounting mode).
 	backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix)
+	// backwardIsLocal reports whether backward issues no collectives,
+	// letting the bucketed gradient sync keep its ring transfers in
+	// flight across the call (see gradSync's concurrency contract).
+	backwardIsLocal() bool
 }
 
 // worker is the per-device execution state.
@@ -178,6 +192,9 @@ type worker struct {
 	unionBuf   []graph.NodeID
 	// labelBuf is the per-step label gather scratch, reused across steps.
 	labelBuf []int32
+	// gsync is the bucketed backward-overlapped gradient sync (real
+	// mode, more than one device; nil otherwise — see gradsync.go).
+	gsync *gradSync
 }
 
 func (w *worker) real() bool { return w.eng.cfg.Mode == Real }
@@ -277,6 +294,17 @@ func New(cfg Config) (*Engine, error) {
 			opt:   e.opts[d],
 			stats: &WorkerStats{},
 		})
+	}
+	codec, err := transport.ChunkCodecByName(cfg.GradCompress)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e.gradCodec = codec
+	if cfg.Mode == Real && n > 1 {
+		ef := codec != nil && codec.Name() == "int8"
+		for _, w := range e.workers {
+			w.gsync = newGradSync(w, codec, ef)
+		}
 	}
 	if cfg.Spans != nil {
 		for d := 0; d < n; d++ {
@@ -449,11 +477,12 @@ func (e *Engine) workerEpoch(ctx context.Context, w *worker, plan *sample.SeedPl
 
 		e.computeStep(w, plan, step, seeds, mb)
 		if w.real() && e.cfg.PreSampled == nil {
-			// The engine sampled this batch itself, and the barrier inside
-			// syncGradients means every worker is past its backward pass —
-			// no peer still reads this batch's blocks through a shipped
-			// reference. Recycling the block storage keeps the steady-state
-			// loop off the allocator. Accounting mode has no such barrier
+			// The engine sampled this batch itself, and completing the
+			// step's gradient sync means every worker is past its backward
+			// pass (see gradSync.finish's causal argument) — no peer still
+			// reads this batch's blocks through a shipped reference.
+			// Recycling the block storage keeps the steady-state loop off
+			// the allocator. Accounting mode has no such guarantee
 			// (nothing real is exchanged), and pre-sampled batches belong
 			// to the caller, so both skip it.
 			mb.Recycle()
@@ -524,22 +553,39 @@ func (e *Engine) computeStep(w *worker, plan *sample.SeedPlan, step int, seeds [
 		var loss float64
 		loss, dLogits = nn.SoftmaxCrossEntropy(st.Logits, labels, maxInt(global, 1))
 		w.stats.LossSum += loss
-		dH = w.model.BackwardPartial(mb, st, 0, dLogits)
-		e.chargeUpperLayers(w, mb, true)
-		e.runner.backward(w, mb, ctx, dH)
-	} else {
-		e.chargeUpperLayers(w, mb, false)
-		e.chargeUpperLayers(w, mb, true)
-		e.runner.backward(w, mb, ctx, nil)
-	}
-
-	e.syncGradients(w)
-	if w.real() {
+		if w.gsync != nil {
+			// Bucketed DDP-style sync: as each upper layer's backward
+			// completes, charge its compute and launch its gradient
+			// bucket's ring allreduce — the transfers overlap the
+			// remaining backward work on the sync goroutine.
+			w.gsync.beginStep()
+			dH = w.model.BackwardPartialHooked(mb, st, 0, dLogits, func(l int) {
+				blk := mb.Blocks[l]
+				w.chargeLayerCompute(w.model.Layers[l], int64(blk.NumSrc()), blk.NumEdges(), true)
+				w.gsync.launchLayer(l)
+			})
+			if !e.runner.backwardIsLocal() {
+				// The layer-1 backward issues collectives of its own; the
+				// in-flight buckets must complete first so only one
+				// goroutine per rank touches the transport at a time.
+				w.gsync.drainInFlight()
+			}
+			e.runner.backward(w, mb, ctx, dH)
+			w.gsync.launchLayer(0)
+			w.gsync.finish()
+		} else {
+			dH = w.model.BackwardPartial(mb, st, 0, dLogits)
+			e.chargeUpperLayers(w, mb, true)
+			e.runner.backward(w, mb, ctx, dH)
+			e.syncGradients(w)
+		}
 		w.opt.Step(w.model.Params())
 		w.model.ZeroGrad()
-		// The barrier inside syncGradients guarantees every worker is
-		// past this step's backward, so no peer still reads any of the
-		// step's tensors through a shipped reference — the whole
+		// Completing the step's gradient sync guarantees every worker is
+		// past this step's backward (each peer's final ring hop happens
+		// after it launched its last bucket, which follows its backward;
+		// at world 1 there are no peers), so no peer still reads any of
+		// the step's tensors through a shipped reference — the whole
 		// forward/backward working set can go back to the pool. Without
 		// this the activations are the loop's steadiest garbage, and the
 		// GC they force keeps flushing the very pools the kernels rely
@@ -550,14 +596,27 @@ func (e *Engine) computeStep(w *worker, plan *sample.SeedPlan, step int, seeds [
 			tensor.Put(dH)
 		}
 		tensor.Put(dLogits)
+	} else {
+		e.chargeUpperLayers(w, mb, false)
+		e.chargeUpperLayers(w, mb, true)
+		e.runner.backward(w, mb, ctx, nil)
+		e.syncGradients(w)
 	}
 }
 
-// syncGradients allreduces the flattened parameter gradients — the
-// model synchronization every strategy performs (PyTorch DDP in the
-// paper). One collective per step, charged to the train stage.
+// syncGradients is the unbucketed gradient synchronization: one flat
+// allreduce per step, charged to the train stage. Real mode reaches it
+// only at world 1 (multi-device real runs use the bucketed overlapped
+// gradSync); accounting mode always charges this single collective.
 func (e *Engine) syncGradients(w *worker) {
 	total := w.model.NumParamElements()
+	// Record the gradient-sync cost explicitly even on this path: the
+	// whole collective is exposed (nothing hides it), so the cost models
+	// see GradExposedSec == GradCommSec here, against which a bucketed
+	// real run's measured overlap can be compared.
+	sec, _, _ := e.Comm.AllReduceModel(total, e.gradCodec)
+	w.stats.GradCommSec += sec
+	w.stats.GradExposedSec += sec
 	if w.real() {
 		flat := tensor.Get(1, total)
 		off := 0
@@ -565,20 +624,18 @@ func (e *Engine) syncGradients(w *worker) {
 			copy(flat.Data[off:], p.G.Data)
 			off += len(p.G.Data)
 		}
-		sum := e.Comm.AllReduce(w.dev.ID, device.StageTrain, flat, 0)
+		sum := e.Comm.AllReduceCodec(w.dev.ID, device.StageTrain, flat, 0, e.gradCodec)
 		off = 0
 		for _, p := range w.model.Params() {
 			copy(p.G.Data, sum.Data[off:off+len(p.G.Data)])
 			off += len(p.G.Data)
 		}
-		tensor.Put(sum) // the reduced copy is locally owned
-		// flat was shipped by reference; lagging peers may still be
-		// summing it, so it can only go back to the pool after everyone
-		// finishes this step's allreduce.
-		e.Comm.Barrier(w.dev.ID)
+		tensor.Put(sum)
+		// The ring ships views of its own scratch, never flat itself, so
+		// flat can return to the pool immediately — no barrier needed.
 		tensor.Put(flat)
 	} else {
-		e.Comm.AllReduce(w.dev.ID, device.StageTrain, nil, int64(total)*4)
+		e.Comm.AllReduceCodec(w.dev.ID, device.StageTrain, nil, int64(total)*4, e.gradCodec)
 	}
 }
 

@@ -27,6 +27,11 @@ func (r *gdpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 	return out, &gdpCtx{lct: lct}
 }
 
+// backwardIsLocal: GDP's backward is pure local compute (feature
+// gradients are discarded, nothing is shipped), so bucket ring
+// transfers may stay in flight across it.
+func (r *gdpRunner) backwardIsLocal() bool { return true }
+
 func (r *gdpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
 	blk := mb.Layer1()
 	w.chargeLayerCompute(w.layer0(), int64(blk.NumSrc()), blk.NumEdges(), true)

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+)
+
+// trainCompressed runs a world-2 in-process engine with the given
+// gradient codec for `epochs` epochs and returns the engine plus the
+// per-epoch mean losses.
+func trainCompressed(t *testing.T, k strategy.Kind, codec string, epochs int) (*Engine, []float64) {
+	t.Helper()
+	f := newFixture(t, 2, 160)
+	plan := sample.SplitEven(f.seeds, 2, graph.NewRNG(3))
+	cfg := f.config(k, func() *nn.Model {
+		return nn.NewGraphSAGE(f.dim, 8, f.classes, 2)
+	}, plan, []int{4, 4})
+	cfg.GradCompress = codec
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("engine (%s/%s): %v", k, codec, err)
+	}
+	losses := make([]float64, epochs)
+	for ep := 0; ep < epochs; ep++ {
+		losses[ep] = e.RunEpoch().MeanLoss
+	}
+	return e, losses
+}
+
+// TestGradCompressionTolerance is the tolerance gate for lossy gradient
+// codecs: training still converges, the final loss stays within a
+// codec-specific band of the exact-fp32 run, and — the compressed ring's
+// determinism guarantee — the device replicas remain bit-identical to
+// EACH OTHER even though they are no longer bit-identical to the
+// uncompressed run.
+func TestGradCompressionTolerance(t *testing.T) {
+	const epochs = 3
+	for _, k := range []strategy.Kind{strategy.GDP, strategy.SNP} {
+		base, baseLoss := trainCompressed(t, k, "", epochs)
+		if !(baseLoss[epochs-1] < baseLoss[0]) {
+			t.Fatalf("%v fp32: loss did not decrease: %v", k, baseLoss)
+		}
+		for _, tc := range []struct {
+			codec string
+			tol   float64 // relative band around the fp32 final loss
+		}{
+			{"fp16", 0.05},
+			{"int8", 0.30},
+		} {
+			t.Run(fmt.Sprintf("%v/%s", k, tc.codec), func(t *testing.T) {
+				e, losses := trainCompressed(t, k, tc.codec, epochs)
+				if !(losses[epochs-1] < losses[0]) {
+					t.Errorf("loss did not decrease under %s: %v", tc.codec, losses)
+				}
+				rel := math.Abs(losses[epochs-1]-baseLoss[epochs-1]) / baseLoss[epochs-1]
+				if rel > tc.tol {
+					t.Errorf("final loss %v vs fp32 %v: relative drift %.4f > %.2f",
+						losses[epochs-1], baseLoss[epochs-1], rel, tc.tol)
+				}
+				// Replicas must stay in lockstep under compression: every
+				// rank decodes the chunk owner's single final encoding.
+				replicasInSync(t, e)
+				// And the codec must actually have engaged: a lossy wire
+				// cannot reproduce the exact-fp32 parameters bit for bit.
+				if paramsDiff(e, base) == 0 {
+					t.Errorf("%s run is bit-identical to fp32 — compression never engaged", tc.codec)
+				}
+			})
+		}
+	}
+}
+
+// TestGradCompressUnknownRejected pins config validation.
+func TestGradCompressUnknownRejected(t *testing.T) {
+	f := newFixture(t, 2, 160)
+	plan := sample.SplitEven(f.seeds, 2, graph.NewRNG(3))
+	cfg := f.config(strategy.GDP, func() *nn.Model {
+		return nn.NewGraphSAGE(f.dim, 8, f.classes, 2)
+	}, plan, []int{4, 4})
+	cfg.GradCompress = "zfp"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown GradCompress accepted")
+	}
+}
+
+// TestGradSyncOverlapTrace runs one epoch with span collection on and
+// proves the backward overlap two ways:
+//
+//  1. Numerically: the exposed (train-charged) part of the gradient
+//     allreduce is strictly smaller than its total modeled time — the
+//     backward pass hid the rest.
+//  2. On the trace: per step, the layer-1 bucket's allreduce span starts
+//     strictly inside that step's train span on the compute-side axis
+//     (the axis comm spans live on: the device track minus its sample
+//     spans), i.e. the Chrome trace shows the transfer running while
+//     backward compute is still in progress.
+func TestGradSyncOverlapTrace(t *testing.T) {
+	f := newFixture(t, 2, 160)
+	plan := sample.SplitEven(f.seeds, 2, graph.NewRNG(3))
+	cfg := f.config(strategy.GDP, func() *nn.Model {
+		return nn.NewGraphSAGE(f.dim, 8, f.classes, 2)
+	}, plan, []int{4, 4})
+	col := obs.NewCollector()
+	cfg.Spans = col
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.RunEpoch()
+
+	if st.Totals.GradCommSec <= 0 {
+		t.Fatal("GradCommSec not accumulated")
+	}
+	if st.Totals.GradExposedSec < 0 {
+		t.Fatalf("negative GradExposedSec %v", st.Totals.GradExposedSec)
+	}
+	if st.Totals.GradExposedSec >= st.Totals.GradCommSec {
+		t.Errorf("no overlap: exposed %v >= total %v",
+			st.Totals.GradExposedSec, st.Totals.GradCommSec)
+	}
+
+	for dev := 0; dev < 2; dev++ {
+		var devTrack, commTrack *obs.Track
+		for _, tr := range col.Tracks() {
+			switch tr.Name {
+			case fmt.Sprintf("dev%d", dev):
+				devTrack = tr
+			case fmt.Sprintf("dev%d/comm", dev):
+				commTrack = tr
+			}
+		}
+		if devTrack == nil || commTrack == nil {
+			t.Fatalf("dev %d: missing device or comm track", dev)
+		}
+
+		// Rebuild the compute-side axis: device spans minus sample time.
+		type iv struct{ start, end float64 }
+		var trains []iv
+		clock := 0.0
+		for _, s := range devTrack.Spans() {
+			if s.Stage == "sample" {
+				continue
+			}
+			if s.Stage == "train" {
+				trains = append(trains, iv{clock, clock + s.Dur})
+			}
+			clock += s.Dur
+		}
+
+		var ars []obs.Span
+		for _, s := range commTrack.Spans() {
+			if s.Stage != "allreduce" {
+				t.Fatalf("dev %d: unexpected comm span %q under GDP", dev, s.Stage)
+			}
+			if s.Bytes <= 0 {
+				t.Errorf("dev %d: allreduce span carries no bytes", dev)
+			}
+			ars = append(ars, s)
+		}
+		// Two buckets (one per GraphSAGE layer) per step, reverse layer
+		// order: the layer-1 bucket launches first.
+		if len(ars) != 2*st.NumBatches {
+			t.Fatalf("dev %d: %d allreduce spans, want %d (2 buckets x %d steps)",
+				dev, len(ars), 2*st.NumBatches, st.NumBatches)
+		}
+		if len(trains) != st.NumBatches {
+			t.Fatalf("dev %d: %d train spans, want %d", dev, len(trains), st.NumBatches)
+		}
+		for step := 0; step < st.NumBatches; step++ {
+			first, second := ars[2*step], ars[2*step+1]
+			if first.Step != 1 || second.Step != 0 {
+				t.Fatalf("dev %d step %d: bucket layer order (%d, %d), want (1, 0)",
+					dev, step, first.Step, second.Step)
+			}
+			tr := trains[step]
+			if !(first.Start > tr.start && first.Start < tr.end-1e-12) {
+				t.Errorf("dev %d step %d: layer-1 allreduce starts at %.9f, outside train span (%.9f, %.9f) — no visible overlap",
+					dev, step, first.Start, tr.start, tr.end)
+			}
+		}
+	}
+}

@@ -42,6 +42,13 @@ type WorkerStats struct {
 	// LossSum accumulates the worker's (globally scaled) loss
 	// contributions; summing across workers gives mean batch loss.
 	LossSum float64
+	// GradCommSec is the modeled gradient-allreduce time of the
+	// bucketed sync (sum over buckets); GradExposedSec is how much of
+	// it the backward pass failed to hide — the part actually charged
+	// to the train stage. Their ratio is the measured overlap the cost
+	// models can learn from. Both zero outside bucketed real mode.
+	GradCommSec    float64
+	GradExposedSec float64
 }
 
 // GraphShuffleBytes is the total subgraph-shipping volume.
@@ -65,6 +72,8 @@ func (s *WorkerStats) add(o *WorkerStats) {
 	s.SampledEdges += o.SampledEdges
 	s.SeedsProcessed += o.SeedsProcessed
 	s.LossSum += o.LossSum
+	s.GradCommSec += o.GradCommSec
+	s.GradExposedSec += o.GradExposedSec
 }
 
 // EpochStats is one epoch's outcome: the paper's time decomposition
@@ -192,6 +201,8 @@ func RecordEpochMetrics(r *obs.Registry, st EpochStats) {
 	r.Gauge("apt_engine_train_seconds", "Last epoch's model-computation time (T_train).").Set(st.TrainSec)
 	r.Gauge("apt_engine_shuffle_seconds", "Last epoch's hidden-embedding shuffle time (T_shuffle).").Set(st.ShuffleSec)
 	r.Gauge("apt_engine_pipelined_seconds", "Last epoch's measured overlapped time (0 when synchronous).").Set(st.MeasuredPipelinedSec)
+	r.Gauge("apt_engine_grad_comm_seconds", "Last epoch's modeled gradient-allreduce time (sum over buckets and workers).").Set(st.Totals.GradCommSec)
+	r.Gauge("apt_engine_grad_exposed_seconds", "Last epoch's unhidden gradient-allreduce time (the share backward compute failed to cover).").Set(st.Totals.GradExposedSec)
 	r.Gauge("apt_engine_mean_loss", "Last epoch's mean global mini-batch loss (real mode).").Set(st.MeanLoss)
 	oom := 0.0
 	if st.OOM {

@@ -70,6 +70,10 @@ func (r *nfpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 	}
 }
 
+// backwardIsLocal: NFP's backward broadcasts destination gradients, so
+// the bucketed gradient sync must drain before it runs.
+func (r *nfpRunner) backwardIsLocal() bool { return false }
+
 func (r *nfpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
 	switch l := w.layer0().(type) {
 	case *nn.SAGELayer:

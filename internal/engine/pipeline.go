@@ -122,7 +122,8 @@ func (e *Engine) workerEpochPipelined(ctx context.Context, w *worker, plan *samp
 		e.computeStep(w, plan, f.step, f.seeds, f.mb)
 		if w.real() && e.cfg.PreSampled == nil {
 			// Sampled by our own prefetcher and fully consumed; safe for
-			// the same reason as workerEpoch (the syncGradients barrier).
+			// the same reason as workerEpoch (the gradient sync's causal
+			// completion guarantee).
 			// Batches dropped by the cancellation drain are simply not
 			// recycled.
 			f.mb.Recycle()

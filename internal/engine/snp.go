@@ -92,6 +92,11 @@ func (r *snpRunner) forward(w *worker, mb *sample.MiniBatch) (*tensor.Matrix, an
 	}
 }
 
+// backwardIsLocal: SNP's backward (and Hybrid's, which reuses this
+// runner) exchanges virtual-node gradients, so the bucketed gradient
+// sync must drain before it runs.
+func (r *snpRunner) backwardIsLocal() bool { return false }
+
 func (r *snpRunner) backward(w *worker, mb *sample.MiniBatch, ctx any, dH *tensor.Matrix) {
 	switch l := w.layer0().(type) {
 	case *nn.SAGELayer:

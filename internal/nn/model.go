@@ -184,6 +184,15 @@ func (m *Model) ForwardPartial(mb *sample.MiniBatch, fromLayer int, h *tensor.Ma
 // toLayer, returning the gradient w.r.t. Blocks[toLayer].Dst embeddings
 // — i.e. the input gradient of layer toLayer+1.
 func (m *Model) BackwardPartial(mb *sample.MiniBatch, st *ForwardState, toLayer int, dLogits *tensor.Matrix) *tensor.Matrix {
+	return m.BackwardPartialHooked(mb, st, toLayer, dLogits, nil)
+}
+
+// BackwardPartialHooked is BackwardPartial with a completion hook:
+// onLayer(l), when non-nil, runs right after layer l's backward has
+// fully accumulated that layer's parameter gradients. The engine's
+// DDP-style gradient sync uses it to launch a layer's allreduce bucket
+// while the remaining (lower) layers are still computing.
+func (m *Model) BackwardPartialHooked(mb *sample.MiniBatch, st *ForwardState, toLayer int, dLogits *tensor.Matrix, onLayer func(l int)) *tensor.Matrix {
 	d := dLogits
 	for l := len(m.Layers) - 1; l > toLayer; l-- {
 		nd := m.Layers[l].Backward(mb.Blocks[l], st.Ctxs[l], d)
@@ -191,8 +200,24 @@ func (m *Model) BackwardPartial(mb *sample.MiniBatch, st *ForwardState, toLayer 
 			tensor.Put(d)
 		}
 		d = nd
+		if onLayer != nil {
+			onLayer(l)
+		}
 	}
 	return d
+}
+
+// GradBuckets groups the parameters per layer in reverse layer order —
+// the order backward completes them — for bucketed gradient
+// synchronization: bucket i holds layer len(Layers)-1-i's parameters,
+// so bucket 0 is ready first and the layer-0 bucket comes last. Every
+// parameter appears in exactly one bucket.
+func (m *Model) GradBuckets() [][]*Param {
+	buckets := make([][]*Param, len(m.Layers))
+	for l, layer := range m.Layers {
+		buckets[len(m.Layers)-1-l] = layer.Params()
+	}
+	return buckets
 }
 
 // NewGraphSAGE builds the paper's default GraphSAGE: layers-1 hidden

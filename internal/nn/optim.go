@@ -157,6 +157,21 @@ func (a *Adam) Restore(params []*Param, st OptState) error {
 	if st.Kind != "adam" {
 		return fmt.Errorf("nn: restoring %q state into Adam", st.Kind)
 	}
+	if st.V == nil {
+		// A never-stepped Adam encodes like SGD — every moment slot
+		// absent — and the checkpoint codec canonicalizes all-absent V
+		// to nil. Accept that form iff M is all-absent too.
+		allNil := true
+		for _, m := range st.M {
+			if m != nil {
+				allNil = false
+				break
+			}
+		}
+		if allNil {
+			st.V = make([][]float32, len(st.M))
+		}
+	}
 	if len(st.M) != len(params) || len(st.V) != len(params) {
 		return fmt.Errorf("nn: adam state has %d/%d moment slots, model has %d params",
 			len(st.M), len(st.V), len(params))

@@ -1,0 +1,347 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/device"
+	"repro/internal/hardware"
+)
+
+// TestFP16ChunkGolden pins the fp16 chunk wire layout: little-endian
+// IEEE-754 binary16, round-to-nearest-even. These bytes are protocol.
+func TestFP16ChunkGolden(t *testing.T) {
+	src := []float32{0, 1, -2, 0.5, 65504, 6.103515625e-05}
+	dst := make([]byte, FP16Chunk{}.EncodedLen(len(src)))
+	FP16Chunk{}.EncodeChunk(dst, src)
+	want := "0000" + "003c" + "00c0" + "0038" + "ff7b" + "0004"
+	if got := hex.EncodeToString(dst); got != want {
+		t.Fatalf("fp16 golden mismatch:\n got  %s\n want %s", got, want)
+	}
+	back := make([]float32, len(src))
+	if err := (FP16Chunk{}).DecodeChunk(back, dst); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, v := range back {
+		if math.Float32bits(v) != math.Float32bits(src[i]) {
+			t.Fatalf("fp16 roundtrip[%d] = %v, want %v (all inputs are exact halfs)", i, v, src[i])
+		}
+	}
+}
+
+// TestInt8ChunkGolden pins the int8 chunk wire layout: f32 LE scale
+// (maxAbs/127) then one int8 per value, round-half-away via math.Round.
+func TestInt8ChunkGolden(t *testing.T) {
+	// maxAbs 127 makes the scale exactly 1.0: quantization is identity
+	// on integers, rounding is visible on the fractional values.
+	src := []float32{127, -64, 1, -1, 0.4, 0.6}
+	dst := make([]byte, Int8Chunk{}.EncodedLen(len(src)))
+	Int8Chunk{}.EncodeChunk(dst, src)
+	want := "0000803f" + "7f" + "c0" + "01" + "ff" + "00" + "01"
+	if got := hex.EncodeToString(dst); got != want {
+		t.Fatalf("int8 golden mismatch:\n got  %s\n want %s", got, want)
+	}
+
+	// All-zero chunks encode scale 0 and zero bytes.
+	zsrc := make([]float32, 3)
+	zdst := make([]byte, Int8Chunk{}.EncodedLen(3))
+	Int8Chunk{}.EncodeChunk(zdst, zsrc)
+	if got := hex.EncodeToString(zdst); got != "00000000"+"000000" {
+		t.Fatalf("int8 zero-chunk golden mismatch: %s", got)
+	}
+	back := make([]float32, 3)
+	if err := (Int8Chunk{}).DecodeChunk(back, zdst); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, v := range back {
+		if v != 0 {
+			t.Fatalf("zero chunk decoded[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestCompressedChunkPayloadGolden pins the Payload.Data framing of a
+// compressed chunk (wire data id 5) crossing the TCP backend.
+func TestCompressedChunkPayloadGolden(t *testing.T) {
+	p := comm.Payload{
+		Data:  &comm.CompressedChunk{Codec: 1, N: 3, B: []byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}},
+		Bytes: 6,
+	}
+	want := "01" + "04" + "0600000000000000" + // version, flags(data), bytes
+		"05" + "10000000" + // data id 5, body length 16
+		"01" + "01" + "03000000" + "06000000" + "aabbccddeeff"
+	got := hex.EncodeToString(mustEncode(t, p))
+	if got != want {
+		t.Fatalf("golden mismatch:\n got  %s\n want %s", got, want)
+	}
+	back, err := DecodePayload(mustEncode(t, p))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	c, ok := back.Data.(*comm.CompressedChunk)
+	if !ok || c.Codec != 1 || c.N != 3 || !bytes.Equal(c.B, p.Data.(*comm.CompressedChunk).B) {
+		t.Fatalf("roundtrip = %+v", back.Data)
+	}
+}
+
+// TestF16ConversionEdges pins the binary16 conversion corners the
+// codec's determinism depends on.
+func TestF16ConversionEdges(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-1.5, 0xbe00},
+		{65504, 0x7bff}, // largest finite half
+		{65519, 0x7bff}, // rounds down to 65504
+		{65520, 0x7c00}, // rounds up past the range: Inf
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{2.9802322387695312e-08, 0x0000}, // half the smallest subnormal: tie-to-even -> 0
+		{5.9604644775390625e-08, 0x0001}, // smallest subnormal (2^-24)
+		{6.097555160522461e-05, 0x03ff},  // largest subnormal
+		{6.103515625e-05, 0x0400},        // smallest normal
+		{1.0009765625, 0x3c01},           // 1 + one half-ulp step
+		{1.00048828125, 0x3c00},          // tie rounds to even (down)
+		{1.00146484375, 0x3c02},          // tie rounds to even (up)
+	}
+	for _, tc := range cases {
+		if got := f32ToF16(tc.in); got != tc.want {
+			t.Errorf("f32ToF16(%v) = %#04x, want %#04x", tc.in, got, tc.want)
+		}
+	}
+	if got := f32ToF16(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("f32ToF16(NaN) = %#04x, not a half NaN", got)
+	}
+	// f16ToF32 is exact on every half value; spot-check the corners.
+	back := []struct {
+		in   uint16
+		want float32
+	}{
+		{0x0000, 0}, {0x3c00, 1}, {0x7bff, 65504},
+		{0x0001, 5.960464477539063e-08}, {0x03ff, 6.097555160522461e-05},
+		{0x0400, 6.103515625e-05},
+	}
+	for _, tc := range back {
+		if got := f16ToF32(tc.in); math.Float32bits(got) != math.Float32bits(tc.want) {
+			t.Errorf("f16ToF32(%#04x) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if !math.IsInf(float64(f16ToF32(0x7c00)), 1) || !math.IsInf(float64(f16ToF32(0xfc00)), -1) {
+		t.Error("f16ToF32 Inf mismatch")
+	}
+	if !math.IsNaN(float64(f16ToF32(0x7e00))) {
+		t.Error("f16ToF32(0x7e00) not NaN")
+	}
+}
+
+func TestChunkCodecByName(t *testing.T) {
+	for _, name := range []string{"", "fp32", "none"} {
+		if c, err := ChunkCodecByName(name); err != nil || c != nil {
+			t.Errorf("ChunkCodecByName(%q) = %v, %v; want nil, nil", name, c, err)
+		}
+	}
+	if c, err := ChunkCodecByName("fp16"); err != nil || c == nil || c.Name() != "fp16" {
+		t.Errorf("fp16 lookup = %v, %v", c, err)
+	}
+	if c, err := ChunkCodecByName("int8"); err != nil || c == nil || c.Name() != "int8" {
+		t.Errorf("int8 lookup = %v, %v", c, err)
+	}
+	if _, err := ChunkCodecByName("bf16"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+// TestChunkDecodeRejectsSizeMismatch pins the malformed-length guards.
+func TestChunkDecodeRejectsSizeMismatch(t *testing.T) {
+	if err := (FP16Chunk{}).DecodeChunk(make([]float32, 3), make([]byte, 5)); err == nil {
+		t.Error("fp16 accepted mismatched length")
+	}
+	if err := (Int8Chunk{}).DecodeChunk(make([]float32, 3), make([]byte, 6)); err == nil {
+		t.Error("int8 accepted mismatched length")
+	}
+}
+
+// FuzzFP16ChunkIdentity: decoding arbitrary fp16 chunk bytes and
+// re-encoding reproduces them exactly, except NaN payloads which
+// collapse to the canonical quiet NaN — every half value except NaNs
+// round-trips bit-exactly through float32.
+func FuzzFP16ChunkIdentity(f *testing.F) {
+	f.Add([]byte{0x00, 0x3c, 0xff, 0x7b})
+	f.Add([]byte{0x01, 0x00, 0xff, 0x03, 0x00, 0x7c})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		n := len(b) / 2
+		b = b[:2*n]
+		vals := make([]float32, n)
+		if err := (FP16Chunk{}).DecodeChunk(vals, b); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		re := make([]byte, 2*n)
+		FP16Chunk{}.EncodeChunk(re, vals)
+		for i := 0; i < n; i++ {
+			in := uint16(b[2*i]) | uint16(b[2*i+1])<<8
+			out := uint16(re[2*i]) | uint16(re[2*i+1])<<8
+			if in&0x7c00 == 0x7c00 && in&0x3ff != 0 {
+				if want := in&0x8000 | 0x7e00; out != want {
+					t.Fatalf("[%d] NaN %#04x re-encoded to %#04x, want canonical %#04x", i, in, out, want)
+				}
+				continue
+			}
+			if in != out {
+				t.Fatalf("[%d] %#04x re-encoded to %#04x", i, in, out)
+			}
+		}
+	})
+}
+
+// FuzzInt8ChunkError: int8 quantization is deterministic and its
+// reconstruction error is bounded by half a quantization step.
+func FuzzInt8ChunkError(f *testing.F) {
+	f.Add(float32(1), float32(-2), float32(0.5), float32(100))
+	f.Add(float32(0), float32(0), float32(0), float32(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d float32) {
+		src := []float32{a, b, c, d}
+		for _, v := range src {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return
+			}
+		}
+		enc := make([]byte, Int8Chunk{}.EncodedLen(len(src)))
+		Int8Chunk{}.EncodeChunk(enc, src)
+		enc2 := make([]byte, len(enc))
+		Int8Chunk{}.EncodeChunk(enc2, src)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("int8 encoding is not deterministic")
+		}
+		dec := make([]float32, len(src))
+		if err := (Int8Chunk{}).DecodeChunk(dec, enc); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		var maxAbs float64
+		for _, v := range src {
+			if av := math.Abs(float64(v)); av > maxAbs {
+				maxAbs = av
+			}
+		}
+		scale := maxAbs / 127
+		tol := scale*0.51 + 1e-30
+		for i := range src {
+			if diff := math.Abs(float64(dec[i]) - float64(src[i])); diff > tol && !math.IsInf(diff, 0) {
+				t.Fatalf("[%d] %v decoded as %v (err %v > tol %v)", i, src[i], dec[i], diff, tol)
+			}
+		}
+	})
+}
+
+// TestTCPRingAllReduce is the 2-rank TCP ring smoke test (run by CI):
+// the compressed and uncompressed rings cross real sockets and land
+// bit-identical on both ranks.
+func TestTCPRingAllReduce(t *testing.T) {
+	const n, elems = 2, 67
+	trs := startWorld(t, n, nil)
+	for _, codecName := range []string{"fp32", "fp16", "int8"} {
+		codec, err := ChunkCodecByName(codecName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([][]float32, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := commFor(trs[r])
+				data := make([]float32, elems)
+				for i := range data {
+					data[i] = float32(r+1) + float32(i)*0.25
+				}
+				c.RingAllReduceData(r, data, codec)
+				results[r] = data
+			}(r)
+		}
+		wg.Wait()
+		for i := 0; i < elems; i++ {
+			if math.Float32bits(results[0][i]) != math.Float32bits(results[1][i]) {
+				t.Fatalf("%s: ranks disagree at [%d]: %v vs %v", codecName, i, results[0][i], results[1][i])
+			}
+		}
+		if codecName == "fp32" {
+			for i := 0; i < elems; i++ {
+				if want := 3 + 0.5*float32(i); results[0][i] != want {
+					t.Fatalf("fp32 ring[%d] = %v, want %v", i, results[0][i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRingChanVsTCPBitIdentical pins the compressed ring's
+// backend-independence: the same inputs reduce to bit-identical values
+// over in-process channels and over TCP sockets, for every codec.
+func TestRingChanVsTCPBitIdentical(t *testing.T) {
+	const n, elems = 2, 53
+	input := func(r, i int) float32 { return float32(math.Sin(float64(r*100 + i))) }
+
+	runChan := func(codec comm.ChunkCodec) [][]float32 {
+		p := hardware.WithDevices(hardware.SingleMachine8GPU(), 1, n)
+		c := comm.New(device.NewGroup(p))
+		out := make([][]float32, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				data := make([]float32, elems)
+				for i := range data {
+					data[i] = input(r, i)
+				}
+				c.RingAllReduceData(r, data, codec)
+				out[r] = data
+			}(r)
+		}
+		wg.Wait()
+		return out
+	}
+	runTCP := func(codec comm.ChunkCodec) [][]float32 {
+		trs := startWorld(t, n, nil)
+		out := make([][]float32, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := commFor(trs[r])
+				data := make([]float32, elems)
+				for i := range data {
+					data[i] = input(r, i)
+				}
+				c.RingAllReduceData(r, data, codec)
+				out[r] = data
+			}(r)
+		}
+		wg.Wait()
+		return out
+	}
+
+	for _, codec := range []comm.ChunkCodec{nil, FP16Chunk{}, Int8Chunk{}} {
+		name := "fp32"
+		if codec != nil {
+			name = codec.Name()
+		}
+		ch, tc := runChan(codec), runTCP(codec)
+		for r := 0; r < n; r++ {
+			for i := 0; i < elems; i++ {
+				if math.Float32bits(ch[r][i]) != math.Float32bits(tc[r][i]) {
+					t.Fatalf("%s rank %d [%d]: chan %v != tcp %v", name, r, i, ch[r][i], tc[r][i])
+				}
+			}
+		}
+	}
+}

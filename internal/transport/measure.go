@@ -55,6 +55,9 @@ func MeasureWire(c *comm.Comm, rank, bytesPerPeer, trials int) WireStats {
 	for j := range outs {
 		outs[j] = comm.Payload{Mat: mat}
 	}
+	// The ring trial reduces in place; a scratch copy keeps mat's values
+	// stable for the gather trials.
+	ringBuf := make([]float32, cols)
 
 	// local[t*3+k] = this rank's duration of trial t for collective k
 	// (0=alltoall, 1=allgather, 2=allreduce-proxy).
@@ -68,11 +71,11 @@ func MeasureWire(c *comm.Comm, rank, bytesPerPeer, trials int) WireStats {
 		c.AllGatherNoCharge(rank, comm.Payload{Mat: mat})
 		ag := time.Since(start).Seconds()
 
-		// AllReduce moves the same frames as AllGather on this fabric
-		// (the sum is local arithmetic); measure the gather again so the
-		// ring-model calibration has its own samples.
+		// AllReduce runs the real ring data plane (chunked reduce-scatter
+		// + allgather), so its measured bandwidth reflects the ring's
+		// serialization and hop pattern, not the gather's.
 		start = time.Now()
-		c.AllGatherNoCharge(rank, comm.Payload{Mat: mat})
+		c.RingAllReduceData(rank, ringBuf, nil)
 		ar := time.Since(start).Seconds()
 
 		local = append(local, float32(a2a), float32(ag), float32(ar))
@@ -107,10 +110,17 @@ func MeasureWire(c *comm.Comm, rank, bytesPerPeer, trials int) WireStats {
 		return volume / sec
 	}
 	a2a, ag, ar := best(0), best(1), best(2)
+	// The ring moves 2·(n-1)/n of the vector per rank, not the gather's
+	// (n-1)× volume; its goodput is that wire over the measured time.
+	ringWire := 2 * perPeer * float64(n-1) / float64(n)
+	arBps := math.Inf(1)
+	if ar > 0 {
+		arBps = ringWire / ar
+	}
 	return WireStats{
 		AllToAllBps:      bps(a2a),
 		AllGatherBps:     bps(ag),
-		AllReduceBps:     bps(ar),
+		AllReduceBps:     arBps,
 		AllToAllCallSec:  0.1 * a2a, // attribute ~10% of the best trial to fixed call cost
 		AllGatherCallSec: 0.1 * ag,
 	}

@@ -211,22 +211,55 @@ func (t *TCP) Send(src, dst int, p comm.Payload) {
 	if peer == nil {
 		panic(fmt.Sprintf("transport: rank %d send to self", t.rank))
 	}
-	// Frame = u32 body length + body; serialize here, on the caller's
-	// goroutine, so the payload's buffers are free the moment Send
-	// returns.
+	t.countTx(t.enqueue(peer, t.encodeFrame(p)))
+}
+
+// Broadcast implements comm.Broadcaster: one serialization, one frame
+// shared read-only across every peer's outbox (writeLoop only reads
+// frames, so sharing the slice is safe). Equivalent to Send to every
+// other rank in ascending order, with the encoding work done once
+// instead of world-1 times.
+func (t *TCP) Broadcast(src int, p comm.Payload) {
+	if src != t.rank {
+		panic(fmt.Sprintf("transport: rank %d asked to broadcast as rank %d", t.rank, src))
+	}
+	frame := t.encodeFrame(p)
+	for dst, peer := range t.peers {
+		if dst == t.rank {
+			continue
+		}
+		t.countTx(t.enqueue(peer, frame))
+	}
+}
+
+// encodeFrame serializes p on the caller's goroutine (u32 body length
+// + body) so the payload's buffers are free the moment the send
+// returns.
+func (t *TCP) encodeFrame(p comm.Payload) []byte {
 	frame, err := AppendPayload(make([]byte, 4, 4+64), p)
 	if err != nil {
-		panic(fmt.Sprintf("transport: rank %d encode for rank %d: %v", t.rank, dst, err))
+		panic(fmt.Sprintf("transport: rank %d encode: %v", t.rank, err))
 	}
 	body := int64(len(frame) - 4)
 	if body > t.maxFrame {
 		panic(fmt.Sprintf("transport: rank %d frame of %d bytes exceeds limit %d: %v", t.rank, body, t.maxFrame, ErrOversized))
 	}
 	binary.LittleEndian.PutUint32(frame, uint32(body))
+	return frame
+}
+
+// countTx records one physically enqueued frame (Broadcast enqueues
+// the same frame once per peer, and each copy crosses its own socket).
+func (t *TCP) countTx(body int64) {
 	if t.txBytes != nil {
 		t.txBytes.Add(body)
 		t.txFrames.Inc()
 	}
+}
+
+// enqueue pushes a frame onto peer's outbox and returns its body
+// length for tx accounting.
+func (t *TCP) enqueue(peer *tcpPeer, frame []byte) int64 {
 	select {
 	case peer.out <- frame:
 	default:
@@ -234,10 +267,11 @@ func (t *TCP) Send(src, dst int, p comm.Payload) {
 		// unless the transport already failed, in which case blocking
 		// would hang the worker forever.
 		if err := t.failure(); err != nil {
-			panic(fmt.Sprintf("transport: rank %d send to %d after failure: %v", t.rank, dst, err))
+			panic(fmt.Sprintf("transport: rank %d send after failure: %v", t.rank, err))
 		}
 		peer.out <- frame
 	}
+	return int64(len(frame) - 4)
 }
 
 // Recv implements comm.Transport. dst must be this process's rank.

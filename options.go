@@ -53,6 +53,14 @@ func WithCheckpointEvery(epochs int) Option {
 	return Option{apt: func(a *core.APT) { a.CheckpointEvery = epochs }}
 }
 
+// WithCheckpointRetain keeps the newest k snapshots instead of one
+// rolling file: each boundary writes an epoch-stamped snapshot
+// (snapshot-ep%08d.aptc) and prunes the rest. Find the resume point
+// with LatestSnapshot. Applies to NewAPT and Resume.
+func WithCheckpointRetain(k int) Option {
+	return Option{apt: func(a *core.APT) { a.CheckpointRetain = k }}
+}
+
 // WithReload names the checkpoint file Server.ReloadCheckpoint
 // hot-swaps the model from — either a raw parameter file or a full
 // training snapshot. Applies to Serve; the config's NewModel factory
