@@ -8,12 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs go vet plus aptlint, the repo's own analyzer suite
-# (determinism, hot-path allocation, and tensor-pool invariants — see
-# DESIGN.md decision 14). Exits non-zero on any unsuppressed finding.
+# lint runs go vet plus aptlint -audit, the repo's own analyzer suite
+# (determinism, hot-path allocation, tensor-pool invariants, and the
+# distributed-protocol analyzers: lockstep collectives, goroutine
+# ownership, wire-contract goldens — see DESIGN.md decisions 14 and
+# 19). -audit also fails on stale //apt:allow directives, from the
+# same single go/types load as the findings.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/aptlint
+	$(GO) run ./cmd/aptlint -audit
 
 # Fused kernels that must stay allocation-free in steady state (the
 # pipelined engine depends on it); verify runs them under -benchmem and
@@ -22,18 +25,18 @@ lint:
 # steady-state allocation either.
 ALLOC_FREE_KERNELS = 'MatMulDense|MatMulBiasReLU$$|GatherMatMul$$|GatherMatMulQuant$$|TMatMulAcc$$|TMatMulAccQuant$$|SegmentAggFused'
 
-# verify is the pre-merge gate: lint (vet + aptlint) + build everything
-# (including the serving daemon), run the concurrency-heavy packages
-# (pipelined engine, pooled kernels, inference server — including the
-# blue/green reload path, span/metrics collection, comm ledger, device
-# clocks, the TCP transport's loopback collective tests, and the
-# checkpoint codec) under the race detector, then hold the fused
+# verify is the pre-merge gate: lint (vet + aptlint -audit) + build
+# everything (including the serving daemon), run the concurrency-heavy
+# packages (pipelined engine, pooled kernels, inference server —
+# including the blue/green reload path, span/metrics collection, comm
+# ledger, device clocks, the TCP transport's loopback collective tests,
+# the checkpoint codec, the parallel full-graph inference path, and the
+# int8 cache tier) under the race detector, then hold the fused
 # kernels to zero steady-state allocations.
 verify: lint
-	$(GO) run ./cmd/aptlint -audit
 	$(GO) build ./...
 	$(GO) build ./cmd/aptserve
-	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/... ./internal/transport/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/engine/... ./internal/tensor/... ./internal/serve/... ./internal/obs/... ./internal/comm/... ./internal/device/... ./internal/transport/... ./internal/checkpoint/... ./internal/fullgraph/... ./internal/cache/...
 	$(GO) test -run XXX -bench $(ALLOC_FREE_KERNELS) -benchmem -benchtime 50x ./internal/tensor/ \
 		| awk '/^Benchmark/ { if ($$(NF-1)+0 != 0) { print "FAIL (allocs/op != 0):", $$0; bad=1 } } END { exit bad }'
 

@@ -42,8 +42,14 @@ type Pass struct {
 	Fset      *token.FileSet
 	Files     []*ast.File
 	PkgPath   string
+	Dir       string // package directory on disk (for _test.go inspection)
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Graph is the module-wide call graph, shared by every pass of a
+	// driver run — the interprocedural layer (see callgraph.go). Nil
+	// only when a test constructs a Pass by hand.
+	Graph *CallGraph
 
 	report func(Diagnostic)
 }

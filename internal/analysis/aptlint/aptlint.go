@@ -9,19 +9,25 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/detrange"
 	"repro/internal/analysis/directive"
+	"repro/internal/analysis/goownership"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockstep"
 	"repro/internal/analysis/poolpair"
 	"repro/internal/analysis/simclock"
+	"repro/internal/analysis/wirecontract"
 )
 
 // All is the full analyzer suite, in reporting-name order. Each entry
-// guards one structural invariant — see DESIGN.md decision 14.
+// guards one structural invariant — see DESIGN.md decisions 14 and 19.
 var All = []*analysis.Analyzer{
 	detrange.Analyzer,
 	directive.Analyzer,
+	goownership.Analyzer,
 	hotalloc.Analyzer,
+	lockstep.Analyzer,
 	poolpair.Analyzer,
 	simclock.Analyzer,
+	wirecontract.Analyzer,
 }
 
 func init() {
@@ -45,24 +51,29 @@ func CheckModule(dir string) ([]analysis.Finding, error) {
 	return analysis.Run(All, pkgs, analysis.Options{ReportUnusedAllows: true})
 }
 
-// Audit runs the suite over the module at dir and prints every
+// Audit is the one-load full gate: it runs the suite over the module
+// at dir once, prints every unsuppressed finding, then prints every
 // //apt:allow directive with its analyzer, justification, and status:
 // "in-use" when the directive still suppresses a live finding, "STALE"
-// when the finding it excused no longer fires. Exit codes mirror Main:
-// 0 when every allow is in use, 1 when any is stale, 2 on failure.
-// Stale allows also fail the plain lint run; the audit exists so CI
-// can list the whole suppression surface in one place instead of
-// discovering it one deleted directive at a time.
+// when the finding it excused no longer fires (staleness is scoped to
+// the allowing function — see analysis.AllowsForFile). Exit codes
+// mirror Main: 0 clean, 1 on any finding or stale allow, 2 on failure.
+// Because findings and directive usage come from the same run, `make
+// lint` and CI pay for one go/types load instead of two.
 func Audit(w io.Writer, dir string) int {
 	pkgs, err := analysis.LoadModule(dir)
 	if err != nil {
 		fmt.Fprintln(w, "aptlint:", err)
 		return 2
 	}
-	_, allows, err := analysis.RunWithAllows(All, pkgs, analysis.Options{})
+	findings, allows, err := analysis.RunWithAllows(All, pkgs, analysis.Options{})
 	if err != nil {
 		fmt.Fprintln(w, "aptlint:", err)
 		return 2
+	}
+	bad := analysis.Print(w, findings, false)
+	if bad > 0 {
+		fmt.Fprintf(w, "aptlint: %d unsuppressed finding(s)\n", bad)
 	}
 	stale := 0
 	for _, d := range allows {
@@ -74,7 +85,7 @@ func Audit(w io.Writer, dir string) int {
 		fmt.Fprintf(w, "%-7s %s: //apt:allow %s %s\n", status, d.Pos, d.Analyzer, d.Reason)
 	}
 	fmt.Fprintf(w, "aptlint: %d allow directive(s), %d stale\n", len(allows), stale)
-	if stale > 0 {
+	if bad > 0 || stale > 0 {
 		return 1
 	}
 	return 0

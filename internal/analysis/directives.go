@@ -8,8 +8,9 @@ package analysis
 //
 //	//apt:allow <analyzer> <reason>
 //	    Suppresses findings of the named analyzer. On its own line (or
-//	    trailing a statement) it covers that line and the next; on a
-//	    function's doc comment it covers the whole function. The reason
+//	    trailing a statement) it covers that line and the next, never
+//	    extending past the enclosing function; on a function's doc
+//	    comment it covers the whole function. The reason
 //	    is mandatory — suppressions are an audited policy decision, not
 //	    an off switch — and the driver reports allows that no longer
 //	    suppress anything, so stale exemptions cannot accumulate.
@@ -78,6 +79,29 @@ func AllowsForFile(fset *token.FileSet, f *ast.File) []*AllowDirective {
 		for _, d := range out {
 			if d.FromLine >= docFrom && d.FromLine <= docTo {
 				d.ToLine = endLine
+			}
+		}
+	}
+	// Clamp a directive that sits inside a function so its scope never
+	// leaks past that function's last line. Without the clamp, the
+	// statement-level "this line and the next" default can spill into
+	// the following declaration — a stale allow trailing one function
+	// is then counted in-use (and silently suppresses a real finding)
+	// whenever the next function diagnoses on the very next line. A
+	// suppression is a per-function policy decision; its staleness
+	// must be judged within the allowing function alone. (FuncDecl.Pos
+	// is the `func` keyword, so doc-comment directives — already
+	// widened above — are not touched here.)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		from := fset.Position(fn.Pos()).Line
+		end := fset.Position(fn.End()).Line
+		for _, d := range out {
+			if d.FromLine >= from && d.FromLine <= end && d.ToLine > end {
+				d.ToLine = end
 			}
 		}
 	}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseAllows(t *testing.T, src string) (*token.FileSet, *ast.File, []*AllowDirective) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f, AllowsForFile(fset, f)
+}
+
+// TestAllowScopeClampedToFunction is the regression test for the audit
+// staleness bug: an //apt:allow trailing one function's line must not
+// spill into the next function — before the clamp, the directive below
+// was counted in-use (and suppressed B's real finding) because its
+// "line and the next" default range covered B's line.
+func TestAllowScopeClampedToFunction(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func A() int { return 1 } //apt:allow simclock stale: A no longer reads the clock
+func B() time.Time { return time.Now() }
+`
+	_, _, ds := parseAllows(t, src)
+	if len(ds) != 1 {
+		t.Fatalf("directives = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.FromLine != 5 || d.ToLine != 5 {
+		t.Errorf("scope = [%d,%d], want [5,5] (clamped to func A)", d.FromLine, d.ToLine)
+	}
+	if m := matchAllow(ds, "simclock", 6); m != nil {
+		t.Errorf("line 6 (func B) matched A's directive; staleness must be scoped to the allowing function")
+	}
+	if m := matchAllow(ds, "simclock", 5); m == nil {
+		t.Errorf("line 5 (func A itself) no longer matches its own directive")
+	}
+}
+
+// TestAllowScopeWithinFunction pins the documented statement-level
+// behavior: inside a function the directive still covers its own line
+// and the next, and a function-doc directive covers the whole body.
+func TestAllowScopeWithinFunction(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func A() time.Time {
+	//apt:allow simclock serving latency is wall time
+	return time.Now()
+}
+
+// B measures real elapsed time for CLI progress.
+//
+//apt:allow simclock progress reporting
+func B() time.Time {
+	t := time.Now()
+	return t
+}
+`
+	_, _, ds := parseAllows(t, src)
+	if len(ds) != 2 {
+		t.Fatalf("directives = %d, want 2", len(ds))
+	}
+	if d := ds[0]; d.FromLine != 6 || d.ToLine != 7 {
+		t.Errorf("statement directive scope = [%d,%d], want [6,7]", d.FromLine, d.ToLine)
+	}
+	if d := ds[1]; d.FromLine != 12 || d.ToLine != 16 {
+		t.Errorf("doc directive scope = [%d,%d], want [12,16] (whole function)", d.FromLine, d.ToLine)
+	}
+	if m := matchAllow(ds, "simclock", 14); m == nil || m != ds[1] {
+		t.Errorf("finding inside B not matched to B's doc directive")
+	}
+}
+
+// TestAllowTrailingLastLine: a directive trailing the function's last
+// body line keeps covering that line (the clamp only trims the spill).
+func TestAllowTrailingLastLine(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func A() time.Time {
+	return time.Now() //apt:allow simclock audited wall-clock read
+}
+func B() time.Time { return time.Now() }
+`
+	_, _, ds := parseAllows(t, src)
+	if len(ds) != 1 {
+		t.Fatalf("directives = %d, want 1", len(ds))
+	}
+	if d := ds[0]; d.FromLine != 6 || d.ToLine != 7 {
+		t.Errorf("scope = [%d,%d], want [6,7] (stays inside A)", d.FromLine, d.ToLine)
+	}
+	if m := matchAllow(ds, "simclock", 8); m != nil {
+		t.Errorf("B's finding on line 8 must not match A's directive")
+	}
+}

@@ -1,0 +1,12 @@
+package goownership_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goownership"
+)
+
+func TestGoOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", goownership.Analyzer, "engine", "util")
+}

@@ -1,0 +1,107 @@
+// Package engine exercises every join/cancel shape goownership
+// accepts, and the leaks it reports. The import path suffix "engine"
+// puts it in the analyzer's scope.
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// WaitGroup join: Done in the literal, Wait in Close.
+func (s *server) startGood() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-s.quit
+	}()
+}
+
+func (s *server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Channel join through a named callee: the close of the callee's
+// parameter maps back to the spawner's ch, which the spawner drains.
+func produce(out chan<- int) {
+	defer close(out)
+	for i := 0; i < 3; i++ {
+		out <- i
+	}
+}
+
+func consume() int {
+	ch := make(chan int, 3)
+	go produce(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Method goroutine joined through receiver-field channels (the
+// gradsync shape: run sends acks/done, finish receives them).
+type syncer struct {
+	acks chan int
+	done chan struct{}
+}
+
+func (g *syncer) run() {
+	g.acks <- 1
+	g.done <- struct{}{}
+}
+
+func (g *syncer) begin() { go g.run() }
+
+func (g *syncer) finish() {
+	<-g.acks
+	<-g.done
+}
+
+// Cancellation via context: the body observes ctx.Done().
+func watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Fire-and-forget literal: nothing joins it.
+func leak1(xs []int) {
+	go func() { // want "no join or cancel path"
+		for range xs {
+		}
+	}()
+}
+
+// spin has no handshake of any kind.
+func spin() {
+	for i := 0; i < 1000; i++ {
+		_ = i
+	}
+}
+
+func leak2() {
+	go spin() // want "no join or cancel path"
+}
+
+// Sends on a channel no function in the module receives from: the
+// goroutine blocks forever once the buffer fills.
+type emitter struct{ out chan int }
+
+func (e *emitter) leak3() {
+	go func() { // want "no join or cancel path"
+		e.out <- 1
+	}()
+}
+
+// A process-scoped daemon is a policy decision, audited by the allow.
+func daemon() {
+	go spin() //apt:allow goownership process-lifetime pump, retired only by exit // want:suppressed "no join or cancel path"
+}

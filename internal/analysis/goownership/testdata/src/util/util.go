@@ -1,0 +1,11 @@
+// Package util is outside goownership's scope (engine/comm/serve/
+// transport): the leak below must NOT be reported.
+package util
+
+func Background() {
+	go func() {
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+package lockstep_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockstep"
+)
+
+func TestLockstep(t *testing.T) {
+	analysistest.Run(t, "testdata", lockstep.Analyzer, "lockstepdata")
+}

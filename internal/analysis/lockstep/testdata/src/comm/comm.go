@@ -1,0 +1,18 @@
+// Package comm stubs the repo's collective layer: the method names and
+// the package-path suffix are what lockstep matches on.
+package comm
+
+type Payload struct{ Bytes int64 }
+
+type Comm struct{ world int }
+
+func (c *Comm) AllReduce(dev int, xs []float32)        {}
+func (c *Comm) Barrier(dev int)                        {}
+func (c *Comm) AnyTrue(dev int, v bool) bool           { return v }
+func (c *Comm) AllGather(dev int, p Payload) []Payload { return nil }
+
+// AllReduceModel is the cost-model query — local arithmetic, not a
+// rendezvous. The analyzer must not treat it as a collective.
+func (c *Comm) AllReduceModel(n int) float64 { return float64(n) }
+
+func (c *Comm) Rank() int { return 0 }

@@ -52,6 +52,10 @@ func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Finding, error
 func RunWithAllows(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Finding, []*AllowDirective, error) {
 	var findings []Finding
 	var allows []*AllowDirective
+	// One call graph serves every (analyzer, package) pass: the loader
+	// type-checks the whole set with shared *types.Func identities, so
+	// interprocedural queries work across package boundaries.
+	graph := BuildCallGraph(pkgs)
 	for _, pkg := range pkgs {
 		// Directive scopes are per-file line ranges, keyed by filename.
 		fileAllows := map[string][]*AllowDirective{}
@@ -67,8 +71,10 @@ func RunWithAllows(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Find
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				PkgPath:   pkg.Path,
+				Dir:       pkg.Dir,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Graph:     graph,
 			}
 			name := a.Name
 			pass.report = func(d Diagnostic) {

@@ -1,0 +1,19 @@
+// Package checkpoint (the name is what wirecontract keys on) carries
+// the section-id constants under audit.
+package checkpoint
+
+// Section ids, in their mandatory file order.
+const (
+	secMeta  = 1
+	secModel = 3
+	secOpt   = 2 // want "section id secOpt = 2 is not greater than secModel = 3"
+	secRNG   = 4 // want "section id secRNG has no golden test"
+)
+
+// A later block continues the same declaration-order sequence.
+const (
+	secAux   = 10
+	secAlias = 10 //apt:allow wirecontract alias id kept so v1 decoders accept both spellings // want:suppressed "not greater"
+)
+
+func all() []int { return []int{secMeta, secModel, secOpt, secRNG, secAux, secAlias} }

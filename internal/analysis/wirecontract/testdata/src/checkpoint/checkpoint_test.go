@@ -1,0 +1,12 @@
+package checkpoint
+
+import "testing"
+
+// TestSectionLayoutGolden references every pinned id; secRNG is
+// deliberately missing so the analyzer reports it.
+func TestSectionLayoutGolden(t *testing.T) {
+	ids := []int{secMeta, secModel, secOpt, secAux, secAlias}
+	if len(ids) != 5 {
+		t.Fatal("placeholder golden body")
+	}
+}

@@ -1,0 +1,7 @@
+// Package transport stubs the codec registry: wirecontract matches
+// RegisterData by name and package-path suffix.
+package transport
+
+type DataCodec struct{}
+
+func RegisterData(id uint8, prototype any, c DataCodec) {}

@@ -1,0 +1,5 @@
+package wiredata
+
+import "unsafe" // want "unsafe imported in a wire-format package"
+
+func size() uintptr { return unsafe.Sizeof(uint32(0)) }

@@ -1,0 +1,23 @@
+package wiredata
+
+import (
+	"encoding/binary"
+
+	"transport"
+)
+
+// Pinned is referenced from TestPinnedGolden in this package's tests.
+type Pinned struct{ A uint32 }
+
+// Unpinned has a registration but no golden test.
+type Unpinned struct{ B uint32 }
+
+func register() {
+	transport.RegisterData(1, (*Pinned)(nil), transport.DataCodec{})
+	transport.RegisterData(2, (*Unpinned)(nil), transport.DataCodec{}) // want "wire type Unpinned .* no golden test"
+}
+
+func encode(buf []byte, v uint32) {
+	binary.NativeEndian.PutUint32(buf, v) // want "binary.NativeEndian on a wire path"
+	binary.LittleEndian.PutUint32(buf[4:], v)
+}

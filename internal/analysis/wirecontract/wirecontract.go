@@ -1,0 +1,256 @@
+// Package wirecontract audits the wire-format contracts: codec
+// registrations need golden tests, checkpoint section ids must be
+// strictly increasing, and encode paths must stay endian-canonical.
+//
+// The repo's cross-process formats (transport frames, checkpoint
+// sections) are canonical little-endian encodings: snapshots written
+// on one machine restore on another, and the fuzz/golden tests pin
+// every byte. Three conventions keep that true, and this analyzer
+// enforces them:
+//
+//   - Every type registered in the transport codec registry
+//     (transport.RegisterData) must be pinned by a golden test in the
+//     registering package: a Test*Golden* function that references the
+//     type. Round-trip tests alone cannot catch a silent layout change
+//     — encode and decode drift together.
+//   - Checkpoint section ids (the `sec*` constants of a checkpoint
+//     package) must be strictly increasing in declaration order — the
+//     decoder enforces ascending ids on the wire, so a shuffled or
+//     duplicated constant silently orphans a section — and each id
+//     must likewise be referenced from a golden test.
+//   - Encode paths must not depend on host byte order: no
+//     binary.NativeEndian anywhere, and no unsafe import in a package
+//     that registers wire codecs or declares section ids.
+//
+// Test files are inspected by parsing the package directory's
+// *_test.go sources (the analysis loader deliberately excludes them
+// from type-checking).
+package wirecontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecontract",
+	Doc:  "wire codec registrations and checkpoint section ids need golden tests, increasing ids, and canonical endianness",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	regs := registrations(pass)
+	secs := sectionConsts(pass)
+
+	var golden *goldenIndex
+	if len(regs) > 0 || len(secs) > 0 {
+		var err error
+		golden, err = loadGoldenIndex(pass.Dir)
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, r := range regs {
+		if !golden.references(r.typeName) {
+			pass.Reportf(r.pos,
+				"wire type %s (data id %d) has no golden test: add a Test...Golden in this package pinning its encoded bytes (round-trips alone let encode+decode drift together)",
+				r.typeName, r.id)
+		}
+	}
+
+	prev := ""
+	prevVal := int64(-1 << 62)
+	for _, s := range secs {
+		if s.val <= prevVal {
+			pass.Reportf(s.pos,
+				"section id %s = %d is not greater than %s = %d: section ids must be strictly increasing in declaration order (the decoder enforces ascending ids on the wire)",
+				s.name, s.val, prev, prevVal)
+		}
+		prev, prevVal = s.name, s.val
+		if !golden.references(s.name) {
+			pass.Reportf(s.pos,
+				"section id %s has no golden test: reference it from a Test...Golden in this package so a renumbering cannot land silently",
+				s.name)
+		}
+	}
+
+	checkEndianness(pass, len(regs) > 0 || len(secs) > 0)
+	return nil
+}
+
+// A registration is one transport.RegisterData call site.
+type registration struct {
+	pos      token.Pos
+	id       int64
+	typeName string
+}
+
+func registrations(pass *analysis.Pass) []registration {
+	var out []registration
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "RegisterData" || fn.Pkg() == nil || len(call.Args) < 2 {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "transport" && !strings.HasSuffix(p, "/transport") {
+				return true
+			}
+			r := registration{pos: call.Pos(), id: -1}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					r.id = v
+				}
+			}
+			if t := pass.TypeOf(call.Args[1]); t != nil {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					r.typeName = named.Obj().Name()
+				}
+			}
+			if r.typeName != "" {
+				out = append(out, r)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// A sectionConst is one `sec*` constant of a checkpoint package, in
+// declaration order.
+type sectionConst struct {
+	pos  token.Pos
+	name string
+	val  int64
+}
+
+func sectionConsts(pass *analysis.Pass) []sectionConst {
+	if pass.Pkg == nil || pass.Pkg.Name() != "checkpoint" {
+		return nil
+	}
+	var out []sectionConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "sec") || len(name.Name) < 4 ||
+						name.Name[3] < 'A' || name.Name[3] > 'Z' {
+						continue
+					}
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact {
+						out = append(out, sectionConst{pos: name.Pos(), name: name.Name, val: v})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkEndianness flags binary.NativeEndian uses (always) and unsafe
+// imports (in wire packages: anything registering codecs or declaring
+// section ids, plus the transport/checkpoint/comm packages themselves).
+func checkEndianness(pass *analysis.Pass, isWirePkg bool) {
+	for _, s := range []string{"transport", "checkpoint", "comm"} {
+		if pass.PkgPath == s || strings.HasSuffix(pass.PkgPath, "/"+s) {
+			isWirePkg = true
+		}
+	}
+	for _, f := range pass.Files {
+		if isWirePkg {
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == "unsafe" {
+					pass.Reportf(imp.Pos(),
+						"unsafe imported in a wire-format package: encodings must be canonical little-endian, not memory-layout reinterpretation")
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NativeEndian" {
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "encoding/binary" {
+				pass.Reportf(sel.Pos(),
+					"binary.NativeEndian on a wire path: canonical encodings are explicitly little-endian (binary.LittleEndian)")
+			}
+			return true
+		})
+	}
+}
+
+// goldenIndex is the set of identifiers referenced inside golden test
+// functions (Test*Golden*) of one package directory.
+type goldenIndex struct {
+	idents map[string]bool
+}
+
+// references reports whether name appears inside any golden test.
+// A nil index references nothing.
+func (g *goldenIndex) references(name string) bool {
+	return g != nil && g.idents[name]
+}
+
+// loadGoldenIndex parses the *_test.go files of dir (syntax only — the
+// loader's type-checked set excludes tests) and records every
+// identifier appearing in a function whose name contains "Golden".
+func loadGoldenIndex(dir string) (*goldenIndex, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	idx := &goldenIndex{idents: map[string]bool{}}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !strings.Contains(fn.Name.Name, "Golden") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					idx.idents[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return idx, nil
+}

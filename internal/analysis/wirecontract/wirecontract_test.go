@@ -1,0 +1,12 @@
+package wirecontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirecontract"
+)
+
+func TestWireContract(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecontract.Analyzer, "wiredata", "checkpoint")
+}

@@ -4,14 +4,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 )
 
 // Epoch-stamped snapshot retention. With retention on, each
 // epoch-boundary snapshot gets its own file (SnapshotName) instead of
 // replacing a single rolling one, and Prune keeps only the newest k.
-// The epoch number is zero-padded so lexicographic filename order IS
-// epoch order — Prune and LatestSnapshot sort names, never parse them.
+// Names are parsed back to epoch numbers and sorted numerically:
+// lexicographic order agrees with epoch order only while epochs fit
+// the zero padding, and a glob would admit junk like
+// "snapshot-epfoo.aptc" as a candidate for deletion.
 
 // SnapshotName is the epoch-stamped snapshot filename for a retention
 // directory.
@@ -19,13 +23,47 @@ func SnapshotName(epoch int) string {
 	return fmt.Sprintf("snapshot-ep%08d.aptc", epoch)
 }
 
-// listStamped returns the epoch-stamped snapshots in dir, oldest first.
+// stampedName matches exactly the files SnapshotName produces (plus
+// epochs wide enough to outgrow the padding).
+var stampedName = regexp.MustCompile(`^snapshot-ep(\d+)\.aptc$`)
+
+// listStamped returns the epoch-stamped snapshots in dir, oldest
+// first by epoch number. Files that merely resemble snapshots are
+// ignored, never deletion candidates.
 func listStamped(dir string) ([]string, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "snapshot-ep*.aptc"))
+	entries, err := os.ReadDir(dir)
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
 		return nil, err
 	}
-	sort.Strings(names)
+	type stamped struct {
+		path  string
+		epoch int64
+	}
+	var found []stamped
+	for _, ent := range entries {
+		m := stampedName.FindStringSubmatch(ent.Name())
+		if m == nil {
+			continue
+		}
+		ep, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			continue // digit run too long for int64; not ours
+		}
+		found = append(found, stamped{filepath.Join(dir, ent.Name()), ep})
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].epoch != found[j].epoch {
+			return found[i].epoch < found[j].epoch
+		}
+		return found[i].path < found[j].path // e.g. ep5 vs ep05
+	})
+	names := make([]string, len(found))
+	for i, s := range found {
+		names[i] = s.path
+	}
 	return names, nil
 }
 

@@ -60,6 +60,68 @@ func TestPruneKeepsNewest(t *testing.T) {
 	}
 }
 
+func TestPruneIgnoresNonSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	junk := []string{
+		"snapshot-epfoo.aptc",     // non-numeric stamp
+		"snapshot-ep.aptc",        // empty stamp
+		"snapshot-ep00000001.tmp", // wrong extension
+		"xsnapshot-ep00000001.aptc",
+		"snapshot-ep00000001.aptc.bak",
+	}
+	for _, name := range junk {
+		touch(t, filepath.Join(dir, name))
+	}
+	for _, ep := range []int{1, 2, 3} {
+		touch(t, filepath.Join(dir, SnapshotName(ep)))
+	}
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All junk survives; only the two oldest real snapshots are gone.
+	if len(left) != len(junk)+1 {
+		t.Fatalf("after prune: %v", left)
+	}
+	got, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != SnapshotName(3) {
+		t.Fatalf("LatestSnapshot = %s, want %s (junk must never win)", got, SnapshotName(3))
+	}
+}
+
+func TestRetentionOrdersNumerically(t *testing.T) {
+	// Epochs at or past 1e8 outgrow the zero padding, so "snapshot-
+	// ep100000000.aptc" sorts lexicographically BEFORE "snapshot-
+	// ep99999999.aptc". Retention must order by parsed epoch, not name.
+	dir := t.TempDir()
+	touch(t, filepath.Join(dir, SnapshotName(99999999)))
+	touch(t, filepath.Join(dir, SnapshotName(100000000)))
+
+	got, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != SnapshotName(100000000) {
+		t.Fatalf("LatestSnapshot = %s, want epoch 100000000", got)
+	}
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "snapshot-ep*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 || filepath.Base(left[0]) != SnapshotName(100000000) {
+		t.Fatalf("prune kept %v, want only epoch 100000000", left)
+	}
+}
+
 func TestLatestSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := LatestSnapshot(dir); !errors.Is(err, os.ErrNotExist) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -32,6 +33,36 @@ func trainCompressed(t *testing.T, k strategy.Kind, codec string, epochs int) (*
 		losses[ep] = e.RunEpoch().MeanLoss
 	}
 	return e, losses
+}
+
+// TestGradSyncDirectRace drives the per-worker gradient-sync protocol
+// directly — beginStep / launchLayer / drainInFlight / finish — with
+// one goroutine per rank, in both call shapes computeStep uses (GDP's
+// straight-through and SNP/DNP's mid-step drain). Under -race (make
+// verify) this pins the handshake between each step goroutine and the
+// sync goroutine beginStep spawns: the req/ack/done channels are the
+// only synchronization between them, so any racy access to bucket
+// state surfaces here without needing a full training epoch.
+func TestGradSyncDirectRace(t *testing.T) {
+	e, _ := trainCompressed(t, strategy.GDP, "fp16", 1)
+	layers := len(e.workers[0].model.Layers)
+	for step := 0; step < 4; step++ {
+		drain := step%2 == 0
+		comm.RunParallel(len(e.workers), func(d int) {
+			gs := e.workers[d].gsync
+			gs.beginStep()
+			for l := layers - 1; l >= 1; l-- {
+				gs.launchLayer(l)
+			}
+			if drain {
+				// The SNP/DNP shape: layer-1 backward issues collectives
+				// of its own, so the in-flight buckets drain first.
+				gs.drainInFlight()
+			}
+			gs.launchLayer(0)
+			gs.finish()
+		})
+	}
 }
 
 // TestGradCompressionTolerance is the tolerance gate for lossy gradient

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/hex"
 	"reflect"
 	"testing"
 
@@ -23,6 +24,81 @@ func roundTrip(t *testing.T, p comm.Payload) comm.Payload {
 		t.Fatalf("decode: %v", err)
 	}
 	return got
+}
+
+// TestEngineWireGolden pins the exact Payload.Data byte layout of the
+// four engine wire types (data ids 1-4). These bytes cross version
+// skew during live model swap, so any diff here is a protocol break:
+// bump the data id instead of changing a layout.
+func TestEngineWireGolden(t *testing.T) {
+	frame := "01" + "04" + "0700000000000000" // version, flags(data), bytes=7
+	cases := []struct {
+		name string
+		data any
+		want string
+	}{
+		{
+			name: "block",
+			data: &sample.Block{
+				Dst:     []graph.NodeID{1, 2},
+				Src:     []graph.NodeID{3},
+				EdgePtr: []int64{0, 2},
+				SrcIdx:  []int32{0},
+			},
+			want: frame + "01" + "31000000" + // id 1, body length 49
+				"01" + // presence
+				"02000000" + "01000000" + "02000000" + // Dst
+				"01000000" + "03000000" + // Src
+				"02000000" + "0000000000000000" + "0200000000000000" + // EdgePtr
+				"01000000" + "00000000", // SrcIdx
+		},
+		{
+			name: "snpRequest",
+			data: &snpRequest{DstIdx: []int32{1}, DstIDs: []graph.NodeID{2}, EdgePtr: []int64{0, 1}, SrcIDs: []graph.NodeID{3}},
+			want: frame + "02" + "2d000000" + // id 2, body length 45
+				"01" +
+				"01000000" + "01000000" + // DstIdx
+				"01000000" + "02000000" + // DstIDs
+				"02000000" + "0000000000000000" + "0100000000000000" + // EdgePtr
+				"01000000" + "03000000", // SrcIDs
+		},
+		{
+			name: "snpGatRequest",
+			data: &snpGatRequest{SrcIDs: []graph.NodeID{4, 5}},
+			want: frame + "03" + "0d000000" + // id 3, body length 13
+				"01" + "02000000" + "04000000" + "05000000",
+		},
+		{
+			name: "dnpRequest",
+			data: &dnpRequest{DstIdx: []int32{4}, DstIDs: []graph.NodeID{8}, EdgePtr: []int64{0, 2}, SrcIDs: []graph.NodeID{1, 2}},
+			want: frame + "04" + "31000000" + // id 4, body length 49
+				"01" +
+				"01000000" + "04000000" + // DstIdx
+				"01000000" + "08000000" + // DstIDs
+				"02000000" + "0000000000000000" + "0200000000000000" + // EdgePtr
+				"02000000" + "01000000" + "02000000", // SrcIDs
+		},
+		{
+			name: "dnpRequestNil",
+			data: (*dnpRequest)(nil),
+			want: frame + "04" + "01000000" + "00", // typed nil = absent presence byte
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := transport.AppendPayload(nil, comm.Payload{Data: tc.data, Bytes: 7})
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if got := hex.EncodeToString(b); got != tc.want {
+				t.Fatalf("golden mismatch:\n got  %s\n want %s", got, tc.want)
+			}
+			back := roundTrip(t, comm.Payload{Data: tc.data, Bytes: 7})
+			if !reflect.DeepEqual(back.Data, tc.data) {
+				t.Fatalf("roundtrip changed data:\n sent %#v\n got  %#v", tc.data, back.Data)
+			}
+		})
+	}
 }
 
 func TestEngineDataCodecs(t *testing.T) {
